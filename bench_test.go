@@ -1,0 +1,313 @@
+package bifrost
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§VIII), plus microbenchmarks of the simulator engines. The Go benches
+// run the geometry-faithful mini-AlexNet workloads so `go test -bench=.`
+// finishes in minutes; the cmd/bifrost-bench binary regenerates the same
+// experiments at the paper's full AlexNet scale (-full).
+//
+//	Figure 9  → BenchmarkFig9SigmaSparsity
+//	Figure 10 → BenchmarkFig10MappingGap
+//	Figure 11 → BenchmarkFig11AutoTVMSpeedup
+//	Table VI  → BenchmarkTableVIFCMappings
+//	Figure 12 → BenchmarkFig12MappingComparison
+//	Tables II–V are configuration taxonomies exercised by unit tests, not
+//	performance experiments; Table I is qualitative (see README).
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/maeri"
+	"repro/internal/stonne/mapping"
+	"repro/internal/stonne/sigma"
+	"repro/internal/stonne/tpu"
+	"repro/internal/tensor"
+)
+
+// BenchmarkFig9SigmaSparsity regenerates Figure 9: AlexNet layers on SIGMA
+// at 0% and 50% sparsity. It reports the average cycle reduction of the
+// conv and FC panels (paper: ~44% and ~54%).
+func BenchmarkFig9SigmaSparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig9(bench.Mini, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var convRed, fcRed, nc, nf float64
+		for _, r := range rows {
+			if r.IsConv {
+				convRed += r.Reduction()
+				nc++
+			} else {
+				fcRed += r.Reduction()
+				nf++
+			}
+		}
+		b.ReportMetric(100*convRed/nc, "conv-reduction-%")
+		b.ReportMetric(100*fcRed/nf, "fc-reduction-%")
+	}
+}
+
+// BenchmarkFig10MappingGap regenerates Figure 10: exhaustive mapping search
+// on the 1×2×10×10 conv across multiplier counts. It reports the
+// suboptimal/optimal gap at 128 multipliers (paper: ~76×) and the
+// 8-vs-128-multiplier optimal ratio (paper: ~12×).
+func BenchmarkFig10MappingGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig10([]int{8, 16, 32, 64, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := rows[0], rows[len(rows)-1]
+		b.ReportMetric(float64(last.Suboptimal)/float64(last.OptimalCycles), "gap@128x")
+		b.ReportMetric(float64(first.OptimalCycles)/float64(last.OptimalCycles), "opt-8v128x")
+	}
+}
+
+func mappingStudy(b *testing.B) []bench.MappingRow {
+	b.Helper()
+	opts := bench.DefaultTuneOptions()
+	opts.Trials = 300
+	opts.EarlyStopping = 80
+	rows, err := bench.MappingStudy(bench.Mini, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+// BenchmarkFig11AutoTVMSpeedup regenerates Figure 11: speedup of the
+// psum-tuned AutoTVM mapping over the basic mapping (paper: ~51× conv
+// average, ~11× FC average).
+func BenchmarkFig11AutoTVMSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := mappingStudy(b)
+		var convSp, fcSp, nc, nf float64
+		for _, r := range rows {
+			if r.IsConv {
+				convSp += r.Speedup()
+				nc++
+			} else {
+				fcSp += r.Speedup()
+				nf++
+			}
+		}
+		b.ReportMetric(convSp/nc, "conv-speedup-x")
+		b.ReportMetric(fcSp/nf, "fc-speedup-x")
+	}
+}
+
+// BenchmarkTableVIFCMappings regenerates Table VI: the FC mapping tuples
+// chosen by basic/AutoTVM/mRNA. It reports the AutoTVM T_S (paper: 20 for
+// every layer) and the mean mRNA T_K (paper: > 1 for every layer).
+func BenchmarkTableVIFCMappings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := mappingStudy(b)
+		var ts, tk, n float64
+		for _, r := range rows {
+			if r.IsConv {
+				continue
+			}
+			ts += float64(r.AutoTVMFC.TS)
+			tk += float64(r.MRNAFC.TK)
+			n++
+		}
+		b.ReportMetric(ts/n, "autotvm-TS")
+		b.ReportMetric(tk/n, "mrna-TK")
+	}
+}
+
+// BenchmarkFig12MappingComparison regenerates Figure 12: cycles under the
+// basic, AutoTVM and mRNA mappings. It reports mRNA's average advantage
+// over AutoTVM (paper: ~20% conv, ~67% FC).
+func BenchmarkFig12MappingComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := mappingStudy(b)
+		var convAdv, fcAdv, nc, nf float64
+		for _, r := range rows {
+			adv := 1 - float64(r.MRNACycles)/float64(r.AutoTVMCycles)
+			if r.IsConv {
+				convAdv += adv
+				nc++
+			} else {
+				fcAdv += adv
+				nf++
+			}
+		}
+		b.ReportMetric(100*convAdv/nc, "conv-adv-%")
+		b.ReportMetric(100*fcAdv/nf, "fc-adv-%")
+		// Render once to exercise the full reporting path.
+		bench.RenderFig12(io.Discard, rows)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks of the simulator engines themselves.
+
+// BenchmarkMAERIConvSim measures the simulator's own throughput on a
+// mid-size convolution with a dense mapping.
+func BenchmarkMAERIConvSim(b *testing.B) {
+	cfg := config.Default(config.MAERIDenseWorkload)
+	eng, err := maeri.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := tensor.ConvDims{N: 1, C: 16, H: 28, W: 28, K: 32, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.RandomUniform(1, 1, 1, 28, 28, 16)
+	ker := tensor.RandomUniform(2, 1, 3, 3, 16, 32)
+	m := mapping.ConvMapping{TR: 3, TS: 3, TC: 2, TK: 4, TG: 1, TN: 1, TX: 1, TY: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Conv2D(in, ker, d, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.MACs()), "macs/op")
+}
+
+// BenchmarkMAERIDenseSim measures dense-layer simulation throughput.
+func BenchmarkMAERIDenseSim(b *testing.B) {
+	cfg := config.Default(config.MAERIDenseWorkload)
+	eng, err := maeri.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.RandomUniform(1, 1, 1, 1024)
+	w := tensor.RandomUniform(2, 1, 512, 1024)
+	m := mapping.FCMapping{TS: 15, TK: 8, TN: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Dense(in, w, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSIGMASparseGEMM measures the sparse GEMM engine at 50% sparsity.
+func BenchmarkSIGMASparseGEMM(b *testing.B) {
+	eng, err := sigma.NewEngine(config.Default(config.SIGMASparseGEMM))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wM := tensor.RandomUniform(1, 1, 256, 512)
+	tensor.Prune(wM, 0.5)
+	x := tensor.RandomUniform(2, 1, 512, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.GEMM(wM, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTPUSystolicGEMM measures the cycle-ticked systolic mesh.
+func BenchmarkTPUSystolicGEMM(b *testing.B) {
+	eng, err := tpu.NewEngine(config.Default(config.TPUOSDense))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := tensor.RandomUniform(1, 1, 64, 128)
+	c := tensor.RandomUniform(2, 1, 128, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.GEMM(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndLeNetMAERI measures a full Bifrost session run.
+func BenchmarkEndToEndLeNetMAERI(b *testing.B) {
+	sess, err := NewSession(DefaultArchitecture(MAERI))
+	if err != nil {
+		b.Fatal(err)
+	}
+	feeds := map[string]*Tensor{"data": tensor.RandomUniform(1, 1, 1, 1, 28, 28)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Run(LeNet5(1), feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for the design decisions DESIGN.md calls out.
+
+// BenchmarkAblationAccumBuffer measures the accumulation-buffer study and
+// reports the worst-case slowdown from removing the buffer.
+func BenchmarkAblationAccumBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationAccumBuffer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 1.0
+		for _, r := range rows {
+			if s := float64(r.WithoutBuffer) / float64(r.WithBuffer); s > worst {
+				worst = s
+			}
+		}
+		b.ReportMetric(worst, "max-slowdown-x")
+	}
+}
+
+// BenchmarkAblationBandwidth measures the dn_bw sweep and reports the
+// narrow/wide cycle ratio.
+func BenchmarkAblationBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationBandwidth()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Cycles)/float64(rows[len(rows)-1].Cycles), "bw2-vs-bw64-x")
+	}
+}
+
+// BenchmarkAblationTuningTarget compares psums/cycles/energy/EDP targets.
+func BenchmarkAblationTuningTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationTuningTarget(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var psums, cycles float64
+		for _, r := range rows {
+			switch r.Target {
+			case "psums":
+				psums = float64(r.Cycles)
+			case "cycles":
+				cycles = float64(r.Cycles)
+			}
+		}
+		b.ReportMetric(psums/cycles, "psums-vs-cycles-x")
+	}
+}
+
+// BenchmarkAblationTuners compares the four tuners against the exhaustive
+// optimum on the FC cycle space.
+func BenchmarkAblationTuners(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationTuners(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var grid, xgb float64
+		for _, r := range rows {
+			if strings.HasPrefix(r.Tuner, "grid") {
+				grid = r.BestCost
+			}
+			if r.Tuner == "xgb" {
+				xgb = r.BestCost
+			}
+		}
+		b.ReportMetric(xgb/grid, "xgb-vs-optimal-x")
+	}
+}

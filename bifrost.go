@@ -1,0 +1,221 @@
+// Package bifrost is the public API of this reproduction of "Bifrost:
+// End-to-End Evaluation and Optimization of Reconfigurable DNN
+// Accelerators" (Stjerngren, Gibson, Cano — ISPASS 2022).
+//
+// Bifrost glues a deep-learning compiler to the STONNE cycle-accurate
+// simulator for reconfigurable DNN accelerators. This package re-exports
+// the pieces a user composes, mirroring the paper's workflow (Listing 1):
+//
+//	arch := bifrost.DefaultArchitecture(bifrost.MAERI)
+//	arch.MSSize = 128                      // "set the amount of multipliers"
+//	sess, err := bifrost.NewSession(arch)  // simulator configurator
+//	outs, err := sess.Run(model, feeds)    // transparent end-to-end run
+//	fmt.Println(sess.Report())             // per-layer cycles and psums
+//
+// Mappings can be generated automatically (basic), tuned with the AutoTVM
+// module (TuneConvMapping/TuneFCMapping), or produced by the integrated
+// mRNA-style specialised mapper (NewMRNAMapper).
+package bifrost
+
+import (
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/importer"
+	"repro/internal/models"
+	"repro/internal/mrna"
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/magma"
+	"repro/internal/stonne/mapping"
+	"repro/internal/stonne/stats"
+	"repro/internal/tensor"
+)
+
+// Re-exported core types. The aliases make the whole public surface
+// reachable from the single bifrost package while the implementation stays
+// in focused internal packages.
+type (
+	// Architecture is a hardware configuration for a simulated accelerator
+	// (Table III of the paper).
+	Architecture = config.HWConfig
+	// ControllerType selects MAERI, SIGMA or the TPU.
+	ControllerType = config.ControllerType
+	// Session is a configured Bifrost run context.
+	Session = core.Session
+	// Graph is the model IR.
+	Graph = graph.Graph
+	// Tensor is the dense float32 tensor exchanged across the stack.
+	Tensor = tensor.Tensor
+	// ConvMapping is a MAERI convolution tile configuration (Table IV).
+	ConvMapping = mapping.ConvMapping
+	// FCMapping is a MAERI fully connected tile configuration (Table V).
+	FCMapping = mapping.FCMapping
+	// ConvDims is the convolution geometry (Table II taxonomy).
+	ConvDims = tensor.ConvDims
+	// Stats are the metrics one simulated layer reports.
+	Stats = stats.Stats
+	// LayerSpec describes one offloadable layer extracted from a model.
+	LayerSpec = models.LayerSpec
+	// TuneResult summarises an AutoTVM-module search.
+	TuneResult = autotune.Result
+	// MRNAMapper is the integrated specialised mapping tool for MAERI.
+	MRNAMapper = mrna.Mapper
+)
+
+// Accelerator architectures available in the simulator.
+const (
+	MAERI = config.MAERIDenseWorkload
+	SIGMA = config.SIGMASparseGEMM
+	TPU   = config.TPUOSDense
+)
+
+// DefaultArchitecture returns the paper's baseline configuration for the
+// given controller (128 multipliers, 64-wide networks for MAERI/SIGMA; an
+// 8×8 mesh for the TPU).
+func DefaultArchitecture(ct ControllerType) Architecture { return config.Default(ct) }
+
+// NewSession validates an architecture and returns a run context. Invalid
+// configurations are rejected, "preventing developers from providing
+// invalid hardware configurations" (§VI).
+func NewSession(arch Architecture) (*Session, error) { return core.NewSession(arch) }
+
+// BasicConvMapping returns the automatically generated all-ones mapping.
+func BasicConvMapping() ConvMapping { return mapping.Basic() }
+
+// BasicFCMapping returns the automatically generated all-ones FC mapping.
+func BasicFCMapping() FCMapping { return mapping.BasicFC() }
+
+// AlexNet builds the paper's benchmark model with seeded random weights.
+func AlexNet(seed int64) *Graph { return models.AlexNet(seed) }
+
+// AlexNetLayers returns the 5 conv + 3 FC layer geometries of AlexNet.
+func AlexNetLayers() []LayerSpec { return models.AlexNetLayers() }
+
+// LeNet5 builds a LeNet-5 style CNN for 28×28 inputs.
+func LeNet5(seed int64) *Graph { return models.LeNet5(seed) }
+
+// LoadModel reads a model in the JSON interchange format (the stand-in for
+// TVM's PyTorch/TensorFlow/ONNX importers).
+func LoadModel(path string) (*Graph, error) { return importer.LoadFile(path) }
+
+// SaveModel writes a model in the JSON interchange format.
+func SaveModel(path string, g *Graph) error { return importer.SaveFile(path, g) }
+
+// Tuner names accepted by the tuning helpers.
+type Tuner string
+
+// Tuners available in the AutoTVM module (§VII: grid search, GATuner and
+// XGBoost, plus random search as a baseline).
+const (
+	TunerGrid   Tuner = "grid"
+	TunerRandom Tuner = "random"
+	TunerGA     Tuner = "ga"
+	TunerXGB    Tuner = "xgb"
+)
+
+func tunerOf(t Tuner) autotune.Tuner {
+	switch t {
+	case TunerGrid:
+		return autotune.GridSearch{}
+	case TunerGA:
+		return autotune.GATuner{}
+	case TunerRandom:
+		return autotune.RandomSearch{}
+	default:
+		return autotune.XGBTuner{}
+	}
+}
+
+// Target selects the tuning metric (§VII-B): cycle counts (accurate but
+// expensive — every measurement is a full simulation) or psums (cheap,
+// loosely correlated with performance).
+type Target string
+
+// Tuning targets.
+const (
+	TargetCycles Target = "cycles"
+	TargetPsums  Target = "psums"
+)
+
+// TuneOptions bounds a tuning run.
+type TuneOptions struct {
+	Tuner         Tuner
+	Target        Target
+	Trials        int
+	EarlyStopping int
+	Seed          int64
+}
+
+func (o *TuneOptions) defaults() {
+	if o.Tuner == "" {
+		o.Tuner = TunerXGB
+	}
+	if o.Target == "" {
+		o.Target = TargetPsums
+	}
+	if o.Trials == 0 {
+		o.Trials = 600
+	}
+	if o.EarlyStopping == 0 {
+		o.EarlyStopping = 120
+	}
+}
+
+// TuneConvMapping searches the Table IV mapping space of a convolution on
+// the given MAERI architecture and returns the best mapping found.
+func TuneConvMapping(arch Architecture, d ConvDims, o TuneOptions) (ConvMapping, TuneResult, error) {
+	o.defaults()
+	if err := d.Resolve(); err != nil {
+		return ConvMapping{}, TuneResult{}, err
+	}
+	space, err := autotune.ConvMappingSpace(d, arch.MSSize)
+	if err != nil {
+		return ConvMapping{}, TuneResult{}, err
+	}
+	var measure autotune.MeasureFunc
+	if o.Target == TargetCycles {
+		measure = autotune.ConvCycleCost(arch, d)
+	} else {
+		measure = autotune.ConvPsumCost(d, arch.MSSize)
+	}
+	res, err := tunerOf(o.Tuner).Tune(space, measure, autotune.Options{Trials: o.Trials, EarlyStopping: o.EarlyStopping, Seed: o.Seed})
+	if err != nil {
+		return ConvMapping{}, TuneResult{}, err
+	}
+	return autotune.ConvMappingOf(res.Best.Config), res, nil
+}
+
+// TuneFCMapping searches the Table V mapping space of a dense layer.
+func TuneFCMapping(arch Architecture, batches, inNeurons, outNeurons int, o TuneOptions) (FCMapping, TuneResult, error) {
+	o.defaults()
+	space := autotune.FCMappingSpace(inNeurons, outNeurons, arch.MSSize)
+	var measure autotune.MeasureFunc
+	if o.Target == TargetCycles {
+		measure = autotune.FCCycleCost(arch, batches, inNeurons, outNeurons)
+	} else {
+		measure = autotune.FCPsumCost(batches, inNeurons, outNeurons, arch.MSSize)
+	}
+	res, err := tunerOf(o.Tuner).Tune(space, measure, autotune.Options{Trials: o.Trials, EarlyStopping: o.EarlyStopping, Seed: o.Seed})
+	if err != nil {
+		return FCMapping{}, TuneResult{}, err
+	}
+	return autotune.FCMappingOf(res.Best.Config), res, nil
+}
+
+// NewMRNAMapper returns the integrated specialised mapping tool for MAERI
+// ("when these tools are available Bifrost has a mechanism to integrate and
+// exploit them", §VII-D).
+func NewMRNAMapper(arch Architecture) (*MRNAMapper, error) {
+	return mrna.NewMapper(arch, mrna.MinimizeCycles)
+}
+
+// SpMSpMEngine is the sparse×sparse matrix-multiplication engine (MAGMA
+// class), implementing the paper's future-work operator on the SIGMA
+// fabric configuration.
+type SpMSpMEngine = magma.Engine
+
+// NewSpMSpMEngine returns a MAGMA-class SpMSpM engine for a
+// SIGMA_SPARSE_GEMM architecture.
+func NewSpMSpMEngine(arch Architecture) (*SpMSpMEngine, error) {
+	return magma.NewEngine(arch)
+}

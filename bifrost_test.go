@@ -1,0 +1,167 @@
+package bifrost
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestListing1Workflow exercises the paper's Listing 1 end to end: set the
+// multiplier count, create the configuration, run an unmodified model.
+func TestListing1Workflow(t *testing.T) {
+	arch := DefaultArchitecture(MAERI)
+	arch.MSSize = 128
+	sess, err := NewSession(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Verify = true
+	model := LeNet5(1)
+	feeds := map[string]*Tensor{"data": tensor.RandomUniform(1, 1, 1, 1, 28, 28)}
+	outs, err := sess.Run(model, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Dim(1) != 10 {
+		t.Fatalf("unexpected output %v", outs)
+	}
+	if len(sess.Records()) != 5 {
+		t.Fatalf("records = %d, want 5 offloaded layers", len(sess.Records()))
+	}
+	if !strings.Contains(sess.Report(), "cycles=") {
+		t.Fatal("report must include cycle counts")
+	}
+}
+
+func TestTuneConvMappingImprovesOnBasic(t *testing.T) {
+	arch := DefaultArchitecture(MAERI)
+	d := ConvDims{N: 1, C: 8, H: 12, W: 12, K: 16, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	tuned, res, err := TuneConvMapping(arch, d, TuneOptions{Tuner: TunerXGB, Target: TargetPsums, Trials: 300, EarlyStopping: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured == 0 {
+		t.Fatal("no measurements recorded")
+	}
+	if tuned.NumVNs() <= 1 {
+		t.Fatalf("tuned mapping %s should parallelise", tuned)
+	}
+}
+
+func TestTuneFCMappingMatchesTableVI(t *testing.T) {
+	arch := DefaultArchitecture(MAERI)
+	fc, _, err := TuneFCMapping(arch, 1, 4096, 4096, TuneOptions{Tuner: TunerGrid, Target: TargetPsums})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.TS != 20 || fc.TK != 1 || fc.TN != 1 {
+		t.Fatalf("psum-tuned FC mapping = %s, want 20, 1, 1 (Table VI)", fc)
+	}
+}
+
+func TestTuneWithCyclesTarget(t *testing.T) {
+	arch := DefaultArchitecture(MAERI)
+	fc, _, err := TuneFCMapping(arch, 1, 128, 64, TuneOptions{Tuner: TunerGrid, Target: TargetCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.TK <= 1 {
+		t.Fatalf("cycle-tuned FC mapping should use spatial reduction, got %s", fc)
+	}
+}
+
+func TestMRNAMapperIntegration(t *testing.T) {
+	arch := DefaultArchitecture(MAERI)
+	mapper, err := NewMRNAMapper(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, cycles, err := mapper.MapFC(1, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.TK <= 1 || cycles <= 0 {
+		t.Fatalf("mRNA mapping %s (%d cycles)", fc, cycles)
+	}
+	if _, err := NewMRNAMapper(DefaultArchitecture(SIGMA)); err == nil {
+		t.Fatal("mRNA integration is MAERI-only")
+	}
+}
+
+func TestSaveAndLoadModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lenet.json")
+	g := LeNet5(3)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModel(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatalf("round trip lost nodes: %d vs %d", g2.NumNodes(), g.NumNodes())
+	}
+}
+
+func TestAllArchitecturesEndToEnd(t *testing.T) {
+	feeds := map[string]*Tensor{"data": tensor.RandomUniform(5, 1, 1, 1, 28, 28)}
+	var baseline *Tensor
+	for _, ct := range []ControllerType{MAERI, SIGMA, TPU} {
+		sess, err := NewSession(DefaultArchitecture(ct))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := sess.Run(LeNet5(9), feeds)
+		if err != nil {
+			t.Fatalf("%s: %v", ct, err)
+		}
+		if baseline == nil {
+			baseline = outs[0]
+			continue
+		}
+		if !tensor.AllClose(baseline, outs[0], 1e-3) {
+			t.Fatalf("%s disagrees with other architectures", ct)
+		}
+	}
+}
+
+func TestAlexNetLayersExported(t *testing.T) {
+	if len(AlexNetLayers()) != 8 {
+		t.Fatal("AlexNet must expose 8 offloadable layers")
+	}
+	if BasicConvMapping().Multipliers() != 1 || BasicFCMapping().Multipliers() != 1 {
+		t.Fatal("basic mappings must occupy one multiplier")
+	}
+}
+
+func TestSpMSpMEngineExported(t *testing.T) {
+	eng, err := NewSpMSpMEngine(DefaultArchitecture(SIGMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tensor.RandomUniform(1, 1, 8, 16)
+	tensor.Prune(a, 0.5)
+	b := tensor.RandomUniform(2, 1, 16, 4)
+	tensor.Prune(b, 0.5)
+	out, st, err := eng.SpMSpM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(tensor.GEMM(a, b), out, 1e-3) {
+		t.Fatal("SpMSpM façade wrong")
+	}
+	if st.MACs >= 8*16*4 {
+		t.Fatal("SpMSpM must skip zero pairs")
+	}
+	if _, err := NewSpMSpMEngine(DefaultArchitecture(MAERI)); err == nil {
+		t.Fatal("SpMSpM requires the SIGMA fabric")
+	}
+}

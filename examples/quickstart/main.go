@@ -1,0 +1,48 @@
+// Quickstart: the Go equivalent of the paper's Listing 1 — configure an
+// architecture, then transparently run an unmodified DNN model on the
+// simulated accelerator, with non-accelerated operators (activations,
+// pooling, softmax) executing on the CPU operator inventory.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bifrost "repro"
+	"repro/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Listing 1: "architecture.ms_size = 128; architecture.create_config_file()".
+	arch := bifrost.DefaultArchitecture(bifrost.MAERI)
+	arch.MSSize = 128
+	if err := arch.WriteFile("maeri_128.cfg"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote maeri_128.cfg (STONNE hardware configuration)")
+
+	// "out = run_torch_stonne(model, input_batch)" — here the model is
+	// LeNet-5 from the model zoo; any graph built with the IR or loaded
+	// from the JSON interchange format works the same way.
+	sess, err := bifrost.NewSession(arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.Verify = true // cross-check every offloaded layer against the CPU
+
+	model := bifrost.LeNet5(42)
+	input := tensor.RandomUniform(7, 1, 1, 1, 28, 28)
+	outs, err := sess.Run(model, map[string]*bifrost.Tensor{"data": input})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nmodel output (class scores): %v\n\n", outs[0])
+	fmt.Print(sess.Report())
+	fmt.Println("\nEvery conv2d/dense layer above ran on the simulated MAERI;")
+	fmt.Println("tanh/pool/softmax ran on the CPU target, as in Bifrost.")
+}

@@ -1,0 +1,137 @@
+// Package api is the STONNE-Bifrost API (§V of the paper): the boundary
+// where layer information coming from the compiler (graph executor) is
+// transformed into a format the simulator accepts, a fresh STONNE instance
+// is configured and run, and the output is transformed back. The package
+// exposes the same entry points the paper registers as TVM packed
+// functions — tvm.contrib.stonne.conv2d.nchw, tvm.contrib.stonne.conv2d.nhwc
+// and the dense operator — and implements each architecture's lowering:
+// native NHWC convolution for MAERI, im2col GEMM for SIGMA and the TPU.
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/stonne"
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/mapping"
+	"repro/internal/stonne/stats"
+	"repro/internal/tensor"
+)
+
+// ConvParams is the Nvidia-taxonomy description of a convolution
+// (Table II). It is an alias of the tensor package's geometry type, re-named
+// here to document the API contract.
+type ConvParams = tensor.ConvDims
+
+// Conv2DNCHW executes a convolution with an NCHW input and KCRS kernel on a
+// freshly configured simulator, returning the NCHW output. The execution
+// path follows §V-B:
+//
+//   - MAERI: the input is transposed to NHWC and the kernel to RSCK on the
+//     CPU (the conversion cost is not part of the simulated cycle count),
+//     the layer runs natively, and the NPQK output is transformed to NKPQ.
+//   - SIGMA / TPU: the convolution is lowered to GEMM ("GEMM convolution"):
+//     per group, the kernel becomes the (K/G)×(C/G·R·S) stationary matrix
+//     and the im2col input the (C/G·R·S)×(N·P·Q) streaming matrix.
+func Conv2DNCHW(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping) (*tensor.Tensor, stats.Stats, error) {
+	if err := d.Resolve(); err != nil {
+		return nil, stats.Stats{}, err
+	}
+	sim, err := stonne.New(cfg) // a new STONNE instance per layer (§V step 3)
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	if sim.SupportsDirectConv() {
+		nhwc := tensor.NCHWToNHWC(in)
+		rsck := tensor.KCRSToRSCK(kernel)
+		out, st, err := sim.Conv2D(nhwc, rsck, d, m)
+		if err != nil {
+			return nil, stats.Stats{}, err
+		}
+		return tensor.NPQKToNKPQ(out), st, nil
+	}
+	return convViaGEMM(sim, in, kernel, d)
+}
+
+// convViaGEMM lowers a convolution to per-group GEMMs for the architectures
+// without native convolution support (§V-B-2/3).
+func convViaGEMM(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams) (*tensor.Tensor, stats.Stats, error) {
+	p, q := d.P(), d.Q()
+	kg := d.K / d.G
+	out := tensor.New(d.N, d.K, p, q)
+	var total stats.Stats
+	for g := 0; g < d.G; g++ {
+		km := tensor.KernelMatrix(kernel, d, g) // (K/G) × (C/G·R·S), weight-stationary
+		cols := tensor.Im2Col(in, d, g)         // (C/G·R·S) × (N·P·Q), streaming
+		prod, st, err := sim.GEMM(km, cols)
+		if err != nil {
+			return nil, stats.Stats{}, err
+		}
+		total.Add(st)
+		for k := 0; k < kg; k++ {
+			for n := 0; n < d.N; n++ {
+				for y := 0; y < p; y++ {
+					for x := 0; x < q; x++ {
+						out.Set(prod.At(k, (n*p+y)*q+x), n, g*kg+k, y, x)
+					}
+				}
+			}
+		}
+	}
+	return out, total, nil
+}
+
+// Conv2DNHWC executes a convolution with an NHWC input and RSCK kernel
+// (the TensorFlow-default layouts), returning the NHWC output. MAERI runs
+// it natively with no layout conversion ("the layer can be executed with
+// minimal change to the data provided by TVM"); GEMM architectures reuse
+// the NCHW lowering after a CPU-side transpose.
+func Conv2DNHWC(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping) (*tensor.Tensor, stats.Stats, error) {
+	if err := d.Resolve(); err != nil {
+		return nil, stats.Stats{}, err
+	}
+	sim, err := stonne.New(cfg)
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	if sim.SupportsDirectConv() {
+		out, st, err := sim.Conv2D(in, kernel, d, m)
+		if err != nil {
+			return nil, stats.Stats{}, err
+		}
+		return out, st, nil // NPQK is NHWC for the output tensor
+	}
+	nchw := tensor.NHWCToNCHW(in)
+	kcrs := tensor.RSCKToKCRS(kernel)
+	out, st, err := convViaGEMM(sim, nchw, kcrs, d)
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	return tensor.NCHWToNHWC(out), st, nil
+}
+
+// Dense executes a fully connected layer (input [M, K] × weights [S, K] →
+// [M, S]). Only the linear transformation runs on the accelerator; any
+// activation stays on the CPU target (§V-A).
+func Dense(cfg config.HWConfig, in, weights *tensor.Tensor, m mapping.FCMapping) (*tensor.Tensor, stats.Stats, error) {
+	sim, err := stonne.New(cfg)
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	return sim.Dense(in, weights, m)
+}
+
+// LayerRecord captures what a simulated layer execution reported — the
+// "record the simulated cycle count and/or partial sums" step (§V step 7).
+type LayerRecord struct {
+	Name    string
+	Op      string // "conv2d" or "dense"
+	Arch    config.ControllerType
+	Mapping string
+	Stats   stats.Stats
+}
+
+// String renders one report line.
+func (r LayerRecord) String() string {
+	return fmt.Sprintf("%-12s %-7s %-22s mapping=[%s] %s", r.Name, r.Op, r.Arch, r.Mapping, r.Stats)
+}

@@ -1,0 +1,303 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stonne/config"
+	"repro/internal/tensor"
+)
+
+func simpleSpace() *Space {
+	return &Space{Knobs: []Knob{
+		{Name: "a", Values: []int{1, 2, 4, 8}},
+		{Name: "b", Values: []int{1, 3, 5}},
+		{Name: "c", Values: []int{2, 7}},
+	}}
+}
+
+// quadCost has a unique global optimum at a=4, b=3, c=7.
+func quadCost(c Config) Cost {
+	da := float64(c.Get("a") - 4)
+	db := float64(c.Get("b") - 3)
+	dc := float64(c.Get("c") - 7)
+	return Cost{Primary: da*da + db*db + dc*dc}
+}
+
+func TestSpaceSizeAndAt(t *testing.T) {
+	s := simpleSpace()
+	if s.Size() != 24 {
+		t.Fatalf("size = %d, want 24", s.Size())
+	}
+	seen := make(map[string]bool)
+	for i := int64(0); i < s.Size(); i++ {
+		seen[s.At(i).String()] = true
+	}
+	if len(seen) != 24 {
+		t.Fatalf("At enumerated %d distinct configs, want 24", len(seen))
+	}
+}
+
+func TestSpaceAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	simpleSpace().At(24)
+}
+
+func TestConfigGetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	simpleSpace().At(0).Get("nope")
+}
+
+func TestCostOrdering(t *testing.T) {
+	a := Cost{Primary: 1, Secondary: 9}
+	b := Cost{Primary: 2, Secondary: 0}
+	c := Cost{Primary: 1, Secondary: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("primary must dominate")
+	}
+	if !c.Less(a) {
+		t.Fatal("secondary must break ties")
+	}
+	if !Infeasible.IsInfeasible() || a.IsInfeasible() {
+		t.Fatal("infeasible detection broken")
+	}
+}
+
+func TestGridSearchFindsGlobalOptimum(t *testing.T) {
+	res, err := GridSearch{}.Tune(simpleSpace(), quadCost, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost.Primary != 0 {
+		t.Fatalf("grid best cost = %v, want 0", res.Best.Cost)
+	}
+	if res.Measured != 24 {
+		t.Fatalf("grid measured %d, want 24", res.Measured)
+	}
+	worst, ok := Worst(res)
+	if !ok || worst.Cost.Primary <= res.Best.Cost.Primary {
+		t.Fatalf("worst trial %v must exceed best", worst.Cost)
+	}
+}
+
+func TestRandomSearchConvergesOnSmallSpace(t *testing.T) {
+	res, err := RandomSearch{}.Tune(simpleSpace(), quadCost, Options{Trials: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost.Primary != 0 {
+		t.Fatalf("random search over the whole space missed the optimum: %v", res.Best.Cost)
+	}
+}
+
+func TestRandomSearchNeedsBudget(t *testing.T) {
+	if _, err := (RandomSearch{}).Tune(simpleSpace(), quadCost, Options{}); err == nil {
+		t.Fatal("zero budget must error")
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	res, err := RandomSearch{}.Tune(simpleSpace(), quadCost, Options{Trials: 1000, EarlyStopping: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged && res.Measured >= 24 {
+		t.Fatalf("early stopping never fired: measured %d", res.Measured)
+	}
+}
+
+func TestAllInfeasibleErrors(t *testing.T) {
+	bad := func(Config) Cost { return Infeasible }
+	if _, err := (GridSearch{}).Tune(simpleSpace(), bad, Options{}); err == nil {
+		t.Fatal("all-infeasible space must error")
+	}
+	if _, err := (RandomSearch{}).Tune(simpleSpace(), bad, Options{Trials: 30, Seed: 1}); err == nil {
+		t.Fatal("all-infeasible space must error")
+	}
+}
+
+func bigSpace() *Space {
+	vals := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	return &Space{Knobs: []Knob{
+		{Name: "a", Values: vals(12)},
+		{Name: "b", Values: vals(12)},
+		{Name: "c", Values: vals(12)},
+		{Name: "d", Values: vals(12)},
+	}}
+}
+
+// ridgeCost rewards a·b close to 64 and penalises large c, d.
+func ridgeCost(c Config) Cost {
+	prod := float64(c.Get("a") * c.Get("b"))
+	return Cost{Primary: math.Abs(prod-64) + 0.5*float64(c.Get("c")) + 0.25*float64(c.Get("d"))}
+}
+
+func TestGATunerBeatsRandomOnStructuredSurface(t *testing.T) {
+	opts := Options{Trials: 400, Seed: 7}
+	ga, err := GATuner{}.Tune(bigSpace(), ridgeCost, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: a·b = 64, c = d = 1 → cost 0.75.
+	if ga.Best.Cost.Primary > 3 {
+		t.Fatalf("GA best %v too far from optimum 0.75", ga.Best.Cost)
+	}
+}
+
+func TestXGBTunerFindsGoodConfig(t *testing.T) {
+	opts := Options{Trials: 300, Seed: 11}
+	xgb, err := XGBTuner{}.Tune(bigSpace(), ridgeCost, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xgb.Best.Cost.Primary > 3 {
+		t.Fatalf("XGB best %v too far from optimum 0.75", xgb.Best.Cost)
+	}
+}
+
+func TestTunersDeterministicPerSeed(t *testing.T) {
+	a, err := XGBTuner{}.Tune(bigSpace(), ridgeCost, Options{Trials: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := XGBTuner{}.Tune(bigSpace(), ridgeCost, Options{Trials: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Config.String() != b.Best.Config.String() {
+		t.Fatal("same seed must reproduce the same search")
+	}
+}
+
+func TestTileCandidates(t *testing.T) {
+	small := tileCandidates(5, 128)
+	if len(small) != 5 || small[0] != 1 || small[4] != 5 {
+		t.Fatalf("small dim candidates = %v", small)
+	}
+	big := tileCandidates(96, 128)
+	for _, v := range big {
+		if v > 96 || v < 1 {
+			t.Fatalf("candidate %d out of range", v)
+		}
+		if 96%v != 0 && v&(v-1) != 0 {
+			t.Fatalf("candidate %d is neither a divisor of 96 nor a power of two", v)
+		}
+	}
+	capped := tileCandidates(96, 16)
+	for _, v := range capped {
+		if v > 16 {
+			t.Fatalf("candidate %d exceeds cap", v)
+		}
+	}
+}
+
+func TestFCMappingSpaceTableVIBehaviour(t *testing.T) {
+	// The central Table VI reproduction: grid search on the psum target must
+	// maximise T_S and minimise T_K ("the AutoTVM module always maximizes
+	// the T_S tile ... while always minimizing T_N and T_K when the
+	// optimization target is minimizing psums").
+	const ms = 128
+	for _, layer := range []struct{ k, s int }{{9216, 4096}, {4096, 4096}, {4096, 1000}} {
+		space := FCMappingSpace(layer.k, layer.s, ms)
+		res, err := GridSearch{}.Tune(space, FCPsumCost(1, layer.k, layer.s, ms), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := FCMappingOf(res.Best.Config)
+		if m.TK != 1 || m.TN != 1 {
+			t.Fatalf("K=%d S=%d: best mapping %s should minimise T_K and T_N", layer.k, layer.s, m)
+		}
+		if m.TS != 20 {
+			t.Fatalf("K=%d S=%d: best T_S = %d, want the space maximum 20", layer.k, layer.s, m.TS)
+		}
+		if res.Best.Cost.Primary != 0 {
+			t.Fatalf("psum-optimal cost should be 0 psums, got %v", res.Best.Cost)
+		}
+	}
+}
+
+func TestConvMappingSpacePsumTuning(t *testing.T) {
+	// Conv analogue: psum-optimal mappings keep the reduction tiles at 1 and
+	// maximise parallel outputs.
+	d := tensor.ConvDims{N: 1, C: 16, H: 14, W: 14, K: 32, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	space, err := ConvMappingSpace(d, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := XGBTuner{}.Tune(space, ConvPsumCost(d, 128), Options{Trials: 600, EarlyStopping: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ConvMappingOf(res.Best.Config)
+	if res.Best.Cost.Primary != 0 {
+		t.Fatalf("psum tuning should reach 0 spatial psums, got %v (mapping %s)", res.Best.Cost, m)
+	}
+	if m.TR != 1 || m.TS != 1 || m.TC != 1 {
+		t.Fatalf("psum-optimal conv mapping must have VN size 1, got %s", m)
+	}
+	if m.NumVNs() < 32 {
+		t.Fatalf("psum-optimal conv mapping should maximise parallelism, got %d VNs", m.NumVNs())
+	}
+}
+
+func TestConvCycleCostMatchesSimulation(t *testing.T) {
+	d := tensor.ConvDims{N: 1, C: 2, H: 10, W: 10, K: 4, R: 3, S: 3}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default(config.MAERIDenseWorkload)
+	space, err := ConvMappingSpace(d, cfg.MSSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := ConvCycleCost(cfg, d)
+	// An invalid mapping must be infeasible, a valid one finite.
+	grid, err := GridSearch{}.Tune(space, measure, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Best.Cost.IsInfeasible() {
+		t.Fatal("cycle grid search found nothing feasible")
+	}
+	worst, ok := Worst(grid)
+	if !ok {
+		t.Fatal("no worst trial")
+	}
+	// Figure 10 premise: optimal and suboptimal mappings differ widely.
+	if worst.Cost.Primary < 4*grid.Best.Cost.Primary {
+		t.Fatalf("optimal %v vs suboptimal %v should differ by ≥4×", grid.Best.Cost, worst.Cost)
+	}
+}
+
+func TestFCCycleCost(t *testing.T) {
+	cfg := config.Default(config.MAERIDenseWorkload)
+	measure := FCCycleCost(cfg, 1, 256, 64)
+	space := FCMappingSpace(256, 64, cfg.MSSize)
+	res, err := GridSearch{}.Tune(space, measure, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FCMappingOf(res.Best.Config)
+	// Cycle-optimal FC mappings use spatial reduction (T_K > 1), unlike
+	// psum-optimal ones — the crux of the Figure 12b gap.
+	if m.TK == 1 {
+		t.Fatalf("cycle-optimal FC mapping should use T_K > 1, got %s", m)
+	}
+}

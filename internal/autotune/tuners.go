@@ -1,0 +1,276 @@
+package autotune
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/xgboost"
+)
+
+// GATuner is the genetic-algorithm tuner the paper cites (GATuner): a
+// population of knob-index genomes evolved with tournament selection,
+// uniform crossover, point mutation and elitism.
+type GATuner struct {
+	Population int     // population size (default 32)
+	Elite      int     // genomes carried over unchanged (default 4)
+	Mutation   float64 // per-gene mutation probability (default 0.1)
+}
+
+// Tune implements Tuner.
+func (g GATuner) Tune(space *Space, measure MeasureFunc, opts Options) (Result, error) {
+	if opts.Trials <= 0 {
+		return Result{}, fmt.Errorf("autotune: GA tuner needs a positive trial budget")
+	}
+	pop := g.Population
+	if pop <= 0 {
+		pop = 32
+	}
+	elite := g.Elite
+	if elite <= 0 {
+		elite = 4
+	}
+	if elite > pop/2 {
+		elite = pop / 2
+	}
+	mutation := g.Mutation
+	if mutation <= 0 {
+		mutation = 0.1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tr := newTracker(opts.EarlyStopping)
+
+	type individual struct {
+		genome []int
+		cost   Cost
+	}
+	randGenome := func() []int {
+		genome := make([]int, len(space.Knobs))
+		for i, k := range space.Knobs {
+			genome[i] = rng.Intn(len(k.Values))
+		}
+		return genome
+	}
+	cache := make(map[string]Cost)
+	evaluate := func(genome []int) (Cost, bool) {
+		cfg := space.fromGenome(genome)
+		key := cfg.String()
+		if c, ok := cache[key]; ok {
+			return c, false
+		}
+		c := measure(cfg)
+		cache[key] = c
+		stop := tr.record(Trial{Config: cfg, Cost: c})
+		return c, stop
+	}
+
+	population := make([]individual, pop)
+	stopped := false
+	for i := range population {
+		population[i].genome = randGenome()
+		var stop bool
+		population[i].cost, stop = evaluate(population[i].genome)
+		if stop || tr.result.Measured >= opts.Trials {
+			stopped = true
+			break
+		}
+	}
+	for !stopped && tr.result.Measured < opts.Trials {
+		sort.SliceStable(population, func(i, j int) bool { return population[i].cost.Less(population[j].cost) })
+		next := make([]individual, 0, pop)
+		next = append(next, population[:elite]...)
+		tournament := func() individual {
+			a, b := population[rng.Intn(pop)], population[rng.Intn(pop)]
+			if a.cost.Less(b.cost) {
+				return a
+			}
+			return b
+		}
+		for len(next) < pop {
+			p1, p2 := tournament(), tournament()
+			child := make([]int, len(space.Knobs))
+			for i := range child {
+				if rng.Intn(2) == 0 {
+					child[i] = p1.genome[i]
+				} else {
+					child[i] = p2.genome[i]
+				}
+				if rng.Float64() < mutation {
+					child[i] = rng.Intn(len(space.Knobs[i].Values))
+				}
+			}
+			cost, stop := evaluate(child)
+			next = append(next, individual{genome: child, cost: cost})
+			if stop || tr.result.Measured >= opts.Trials {
+				stopped = true
+				break
+			}
+		}
+		for len(next) < pop {
+			next = append(next, population[len(next)])
+		}
+		population = next
+	}
+	return tr.finish()
+}
+
+// XGBTuner is the model-guided tuner: it trains a gradient-boosted-trees
+// cost model on the measurements so far, scores a large pool of random
+// candidates with the model, and measures only the most promising batch —
+// AutoTVM's transfer-learning loop with our from-scratch XGBoost.
+type XGBTuner struct {
+	BatchSize int            // measurements per round (default 16)
+	PoolSize  int            // model-scored candidates per round (default 256)
+	Params    xgboost.Params // zero value → xgboost.DefaultParams()
+}
+
+// Tune implements Tuner.
+func (x XGBTuner) Tune(space *Space, measure MeasureFunc, opts Options) (Result, error) {
+	if opts.Trials <= 0 {
+		return Result{}, fmt.Errorf("autotune: XGB tuner needs a positive trial budget")
+	}
+	batch := x.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	pool := x.PoolSize
+	if pool <= 0 {
+		pool = 256
+	}
+	params := x.Params
+	if params.Rounds == 0 {
+		params = xgboost.DefaultParams()
+		params.Rounds = 30
+	}
+	params.Seed = opts.Seed
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tr := newTracker(opts.EarlyStopping)
+	size := space.Size()
+
+	seen := make(map[int64]bool)
+	var features [][]float64
+	var targets []float64
+	var maxSecondary float64 = 1
+
+	featurize := func(cfg Config) []float64 {
+		vals := cfg.Values()
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	// scalarize folds the lexicographic cost into one regression target,
+	// keeping Primary dominant: Secondary/(2·maxSecondary) < 1 never crosses
+	// integer Primary gaps.
+	scalarize := func(c Cost) float64 {
+		if c.IsInfeasible() {
+			return 0 // handled separately; never reaches the model
+		}
+		return c.Primary + c.Secondary/(2*maxSecondary)
+	}
+
+	measureIdx := func(idx int64) bool {
+		seen[idx] = true
+		cfg := space.At(idx)
+		cost := measure(cfg)
+		stop := tr.record(Trial{Config: cfg, Cost: cost})
+		if !cost.IsInfeasible() {
+			if cost.Secondary > maxSecondary {
+				maxSecondary = cost.Secondary
+			}
+			features = append(features, featurize(cfg))
+			targets = append(targets, 0) // rewritten below, once maxSecondary is known
+		}
+		return stop
+	}
+
+	randomUnseen := func() (int64, bool) {
+		if int64(len(seen)) >= size {
+			return 0, false
+		}
+		for tries := 0; tries < 64; tries++ {
+			idx := rng.Int63n(size)
+			if !seen[idx] {
+				return idx, true
+			}
+		}
+		for idx := int64(0); idx < size; idx++ {
+			if !seen[idx] {
+				return idx, true
+			}
+		}
+		return 0, false
+	}
+
+	// Warm-up: two batches of random measurements.
+	for i := 0; i < 2*batch && tr.result.Measured < opts.Trials; i++ {
+		idx, ok := randomUnseen()
+		if !ok {
+			break
+		}
+		if measureIdx(idx) {
+			return tr.finish()
+		}
+	}
+
+	for tr.result.Measured < opts.Trials && int64(len(seen)) < size {
+		// Refresh regression targets with the current maxSecondary scale.
+		ti := 0
+		for _, trial := range tr.result.Trials {
+			if trial.Cost.IsInfeasible() {
+				continue
+			}
+			targets[ti] = scalarize(trial.Cost)
+			ti++
+		}
+		var model *xgboost.Model
+		if len(features) >= 4 {
+			var err error
+			model, err = xgboost.Train(features, targets, params)
+			if err != nil {
+				return tr.result, fmt.Errorf("autotune: training cost model: %w", err)
+			}
+		}
+		// Score a pool of unseen candidates.
+		type scored struct {
+			idx  int64
+			pred float64
+		}
+		candidates := make([]scored, 0, pool)
+		for i := 0; i < pool; i++ {
+			idx, ok := randomUnseen()
+			if !ok {
+				break
+			}
+			s := scored{idx: idx}
+			if model != nil {
+				s.pred = model.Predict(featurize(space.At(idx)))
+			} else {
+				s.pred = rng.Float64()
+			}
+			candidates = append(candidates, s)
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].pred < candidates[j].pred })
+		picked := 0
+		for _, c := range candidates {
+			if picked >= batch || tr.result.Measured >= opts.Trials {
+				break
+			}
+			if seen[c.idx] {
+				continue
+			}
+			picked++
+			if measureIdx(c.idx) {
+				return tr.finish()
+			}
+		}
+		if picked == 0 {
+			break
+		}
+	}
+	return tr.finish()
+}

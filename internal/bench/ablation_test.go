@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationAccumBuffer(t *testing.T) {
+	rows, err := AblationAccumBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Small VNs must suffer more from losing the buffer than large VNs.
+	first := float64(rows[0].WithoutBuffer) / float64(rows[0].WithBuffer)
+	last := float64(rows[len(rows)-1].WithoutBuffer) / float64(rows[len(rows)-1].WithBuffer)
+	if first <= last {
+		t.Fatalf("VN=1 slowdown (%.2f) must exceed full-VN slowdown (%.2f)", first, last)
+	}
+	if first < 1.2 {
+		t.Fatalf("VN=1 without buffer should be clearly slower, got %.2f×", first)
+	}
+	var sb strings.Builder
+	RenderAccumBuffer(&sb, rows)
+	if !strings.Contains(sb.String(), "accumulation buffer") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestAblationBandwidth(t *testing.T) {
+	rows, err := AblationBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycles must be non-increasing in bandwidth.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cycles > rows[i-1].Cycles {
+			t.Fatalf("cycles rose with bandwidth: %+v then %+v", rows[i-1], rows[i])
+		}
+	}
+	// The narrowest point must be clearly slower than the widest.
+	if rows[0].Cycles < 2*rows[len(rows)-1].Cycles {
+		t.Fatalf("bandwidth sweep too flat: %d vs %d", rows[0].Cycles, rows[len(rows)-1].Cycles)
+	}
+	var sb strings.Builder
+	RenderBandwidth(&sb, rows)
+	if !strings.Contains(sb.String(), "dn_bw") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestAblationTuningTarget(t *testing.T) {
+	rows, err := AblationTuningTarget(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var psums, cycles int64
+	for _, r := range rows {
+		switch r.Target {
+		case "psums":
+			psums = r.Cycles
+		case "cycles":
+			cycles = r.Cycles
+		}
+		if r.Cycles <= 0 {
+			t.Fatalf("%s: no cycles", r.Target)
+		}
+	}
+	// §VII-B: cycle-target tuning finds mappings at least as fast as
+	// psum-target tuning (psums are only loosely correlated).
+	if cycles > psums {
+		t.Fatalf("cycles-tuned winner (%d) must not lose to psums-tuned (%d)", cycles, psums)
+	}
+	var sb strings.Builder
+	RenderTuningTarget(&sb, rows)
+	if !strings.Contains(sb.String(), "tuning target") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestAblationTuners(t *testing.T) {
+	rows, err := AblationTuners(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grid, random float64
+	for _, r := range rows {
+		switch {
+		case strings.HasPrefix(r.Tuner, "grid"):
+			grid = r.BestCost
+		case r.Tuner == "random":
+			random = r.BestCost
+		}
+	}
+	// The exhaustive search defines the global optimum; sampled tuners may
+	// not reach it but must not beat it.
+	if random < grid {
+		t.Fatalf("random (%v) cannot beat exhaustive grid (%v)", random, grid)
+	}
+	for _, r := range rows {
+		if r.BestCost < grid {
+			t.Fatalf("%s reported cost below the global optimum", r.Tuner)
+		}
+	}
+	var sb strings.Builder
+	RenderTuners(&sb, rows)
+	if !strings.Contains(sb.String(), "tuner comparison") {
+		t.Fatal("render incomplete")
+	}
+}

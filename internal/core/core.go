@@ -1,0 +1,229 @@
+// Package core implements the Bifrost engine — the paper's primary
+// contribution: an end-to-end runner that takes any model expressed in the
+// graph IR, offloads its conv2d and dense layers to a simulated
+// reconfigurable accelerator through the STONNE-Bifrost API, executes every
+// other operator on the CPU inventory, and records per-layer simulation
+// metrics. It plays the roles of the paper's "Simulator Configurator"
+// (validating hardware configurations), "Mapping Configurator" (per-layer
+// dataflow mappings with automatic defaults) and transparent runner
+// (Listing 1: a whole model executes with no modification).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/api"
+	"repro/internal/graph"
+	"repro/internal/passes"
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/mapping"
+	"repro/internal/stonne/stats"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+// Session is one configured Bifrost run context. The zero value is not
+// usable; construct with NewSession.
+type Session struct {
+	cfg config.HWConfig
+
+	// OffloadConv and OffloadDense select which operator kinds are sent to
+	// the accelerator; everything else always runs on the CPU target.
+	OffloadConv  bool
+	OffloadDense bool
+
+	// Verify cross-checks every offloaded layer against the CPU operator
+	// inventory ("allows end-to-end evaluation and easy verification of
+	// correctness", §I). Verification failures abort the run.
+	Verify bool
+
+	// VerifyTolerance is the relative tolerance used by Verify (default 1e-3).
+	VerifyTolerance float64
+
+	// Per-layer mapping overrides, keyed by node name. Layers without an
+	// entry fall back to the defaults, and finally to the basic mapping.
+	ConvMappings map[string]mapping.ConvMapping
+	FCMappings   map[string]mapping.FCMapping
+
+	// Optional defaults applied to layers without a named override.
+	DefaultConvMapping *mapping.ConvMapping
+	DefaultFCMapping   *mapping.FCMapping
+
+	records []api.LayerRecord
+}
+
+// NewSession validates the hardware configuration (the simulator
+// configurator "ensures that only valid hardware configurations for
+// simulation are specified") and returns a ready session.
+func NewSession(cfg config.HWConfig) (*Session, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{
+		cfg:             cfg,
+		OffloadConv:     true,
+		OffloadDense:    true,
+		VerifyTolerance: 1e-3,
+		ConvMappings:    make(map[string]mapping.ConvMapping),
+		FCMappings:      make(map[string]mapping.FCMapping),
+	}, nil
+}
+
+// Config returns the session's normalised hardware configuration.
+func (s *Session) Config() config.HWConfig { return s.cfg }
+
+// Records returns the per-layer simulation records of the last Run.
+func (s *Session) Records() []api.LayerRecord { return s.records }
+
+// TotalStats aggregates the records of the last Run.
+func (s *Session) TotalStats() stats.Stats {
+	var total stats.Stats
+	for _, r := range s.records {
+		total.Add(r.Stats)
+	}
+	return total
+}
+
+// convMappingFor resolves the dataflow mapping for a conv node: named
+// override → session default → automatically generated basic mapping
+// ("Bifrost will automatically generate an unoptimized default mapping if
+// none is provided", §VIII-B).
+func (s *Session) convMappingFor(name string) mapping.ConvMapping {
+	if m, ok := s.ConvMappings[name]; ok {
+		return m
+	}
+	if s.DefaultConvMapping != nil {
+		return *s.DefaultConvMapping
+	}
+	return mapping.Basic()
+}
+
+func (s *Session) fcMappingFor(name string) mapping.FCMapping {
+	if m, ok := s.FCMappings[name]; ok {
+		return m
+	}
+	if s.DefaultFCMapping != nil {
+		return *s.DefaultFCMapping
+	}
+	return mapping.BasicFC()
+}
+
+// maybePrune applies SIGMA's sparsity_ratio to a weight tensor by magnitude
+// pruning a copy; other architectures pass weights through untouched.
+func (s *Session) maybePrune(w *tensor.Tensor) *tensor.Tensor {
+	if s.cfg.Controller != config.SIGMASparseGEMM || s.cfg.SparsityRatio == 0 {
+		return w
+	}
+	pruned := w.Clone()
+	tensor.Prune(pruned, float64(s.cfg.SparsityRatio)/100)
+	return pruned
+}
+
+// Run optimises the graph with the standard pass pipeline and executes it
+// end to end, offloading supported layers to the simulated accelerator.
+// It mirrors Listing 1: the caller provides an unmodified model and feeds.
+func (s *Session) Run(g *graph.Graph, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := passes.Standard(g); err != nil {
+		return nil, err
+	}
+	s.records = s.records[:0]
+	ex := &graph.Executor{Graph: g, Offload: s.offload}
+	return ex.Run(feeds)
+}
+
+// offload is the graph.OffloadFunc that redirects conv2d and dense nodes to
+// the STONNE-Bifrost API.
+func (s *Session) offload(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tensor, bool, error) {
+	switch n.Op {
+	case graph.OpConv2D:
+		if !s.OffloadConv {
+			return nil, false, nil
+		}
+		return s.offloadConv(n, ins)
+	case graph.OpDense:
+		if !s.OffloadDense {
+			return nil, false, nil
+		}
+		return s.offloadDense(n, ins)
+	}
+	return nil, false, nil
+}
+
+func (s *Session) offloadConv(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tensor, bool, error) {
+	d, err := graph.ConvDimsOf(n)
+	if err != nil {
+		return nil, false, err
+	}
+	kernel := s.maybePrune(ins[1])
+	m := s.convMappingFor(n.Name)
+	var out *tensor.Tensor
+	var st stats.Stats
+	if n.Attrs.DataLayout == tensor.NHWC {
+		out, st, err = api.Conv2DNHWC(s.cfg, ins[0], kernel, d, m)
+	} else {
+		out, st, err = api.Conv2DNCHW(s.cfg, ins[0], kernel, d, m)
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("offloading conv2d %q: %w", n.Name, err)
+	}
+	if s.Verify {
+		var want *tensor.Tensor
+		if n.Attrs.DataLayout == tensor.NHWC {
+			want, err = topi.Conv2DNHWC(ins[0], kernel, d)
+		} else {
+			want, err = topi.Conv2DNCHW(ins[0], kernel, d)
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if !tensor.AllClose(want, out, s.VerifyTolerance) {
+			return nil, false, fmt.Errorf("verification failed for conv2d %q: max diff %v", n.Name, tensor.MaxAbsDiff(want, out))
+		}
+	}
+	s.records = append(s.records, api.LayerRecord{
+		Name: n.Name, Op: "conv2d", Arch: s.cfg.Controller, Mapping: m.String(), Stats: st,
+	})
+	return out, true, nil
+}
+
+func (s *Session) offloadDense(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tensor, bool, error) {
+	weights := s.maybePrune(ins[1])
+	m := s.fcMappingFor(n.Name)
+	out, st, err := api.Dense(s.cfg, ins[0], weights, m)
+	if err != nil {
+		return nil, false, fmt.Errorf("offloading dense %q: %w", n.Name, err)
+	}
+	if s.Verify {
+		want, err := topi.Dense(ins[0], weights)
+		if err != nil {
+			return nil, false, err
+		}
+		if !tensor.AllClose(want, out, s.VerifyTolerance) {
+			return nil, false, fmt.Errorf("verification failed for dense %q: max diff %v", n.Name, tensor.MaxAbsDiff(want, out))
+		}
+	}
+	s.records = append(s.records, api.LayerRecord{
+		Name: n.Name, Op: "dense", Arch: s.cfg.Controller, Mapping: "T_S, T_K, T_N = " + m.String(), Stats: st,
+	})
+	return out, true, nil
+}
+
+// Report renders a per-layer table of the last Run plus totals.
+func (s *Session) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bifrost report — %s (%d multipliers, dn_bw=%d, rn_bw=%d)\n",
+		s.cfg.Controller, s.cfg.Multipliers(), s.cfg.DNBandwidth, s.cfg.RNBandwidth)
+	recs := append([]api.LayerRecord(nil), s.records...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Stats.Cycles > recs[j].Stats.Cycles })
+	for _, r := range recs {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	fmt.Fprintf(&b, "  total: %s\n", s.TotalStats())
+	return b.String()
+}

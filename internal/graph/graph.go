@@ -1,0 +1,308 @@
+// Package graph implements the computational-graph intermediate
+// representation that stands in for TVM's Relay IR. Deep-learning models are
+// parsed/built into a Graph of operator Nodes; the Bifrost engine walks the
+// graph in topological order, offloading supported operators (conv2d, dense)
+// to a simulated accelerator and executing everything else on the CPU
+// operator inventory.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// OpKind identifies an operator.
+type OpKind string
+
+// Operator kinds understood by the executor and the shape-inference pass.
+const (
+	OpInput     OpKind = "input"
+	OpConstant  OpKind = "constant"
+	OpConv2D    OpKind = "conv2d"
+	OpDense     OpKind = "dense"
+	OpBiasAdd   OpKind = "bias_add"
+	OpReLU      OpKind = "relu"
+	OpSigmoid   OpKind = "sigmoid"
+	OpTanh      OpKind = "tanh"
+	OpMaxPool   OpKind = "max_pool2d"
+	OpAvgPool   OpKind = "avg_pool2d"
+	OpSoftmax   OpKind = "softmax"
+	OpLRN       OpKind = "lrn"
+	OpFlatten   OpKind = "flatten"
+	OpAdd       OpKind = "add"
+	OpBatchNorm OpKind = "batch_norm"
+	OpDropout   OpKind = "dropout"
+)
+
+// Attrs carries the operator attributes. Only the fields relevant to a
+// node's OpKind are meaningful.
+type Attrs struct {
+	// Conv2D.
+	StrideH, StrideW int
+	PadH, PadW       int
+	Groups           int
+	DataLayout       tensor.Layout // NCHW or NHWC; empty means NCHW
+
+	// Pooling.
+	PoolKernel, PoolStride, PoolPad int
+
+	// LRN.
+	LRNSize           int
+	LRNAlpha, LRNBeta float64
+	LRNBias           float64
+
+	// BatchNorm.
+	Epsilon float64
+
+	// Dropout (inference no-op, kept for graph fidelity).
+	Rate float64
+}
+
+// Node is a single operator application in the graph.
+type Node struct {
+	ID     int
+	Name   string
+	Op     OpKind
+	Attrs  Attrs
+	Inputs []*Node
+
+	// Value holds the tensor for OpConstant nodes (weights, biases).
+	Value *tensor.Tensor
+
+	// OutShape is filled in by InferShapes.
+	OutShape []int
+
+	// FusedActivation is set by the fusion pass when a following
+	// activation has been folded into this node for reporting purposes.
+	FusedActivation OpKind
+}
+
+// Graph is a DAG of nodes with designated inputs and outputs.
+type Graph struct {
+	Name    string
+	nodes   []*Node
+	Inputs  []*Node
+	Outputs []*Node
+	nextID  int
+}
+
+// New creates an empty graph.
+func New(name string) *Graph { return &Graph{Name: name} }
+
+// Nodes returns the nodes in insertion order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// NumNodes returns the number of nodes currently in the graph.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// SetNodes replaces the node list. It is used by optimisation passes that
+// drop nodes (e.g. dead-node elimination); the caller is responsible for
+// keeping Inputs/Outputs consistent.
+func (g *Graph) SetNodes(nodes []*Node) { g.nodes = nodes }
+
+func (g *Graph) add(n *Node) *Node {
+	n.ID = g.nextID
+	g.nextID++
+	if n.Name == "" {
+		n.Name = fmt.Sprintf("%s_%d", n.Op, n.ID)
+	}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Input declares a named graph input with a fixed shape.
+func (g *Graph) Input(name string, shape ...int) *Node {
+	n := g.add(&Node{Name: name, Op: OpInput, OutShape: append([]int(nil), shape...)})
+	g.Inputs = append(g.Inputs, n)
+	return n
+}
+
+// Constant adds a weight/parameter node.
+func (g *Graph) Constant(name string, v *tensor.Tensor) *Node {
+	return g.add(&Node{Name: name, Op: OpConstant, Value: v, OutShape: append([]int(nil), v.Shape()...)})
+}
+
+// Conv2D adds a 2-D convolution of x by kernel.
+func (g *Graph) Conv2D(name string, x, kernel *Node, a Attrs) *Node {
+	if a.Groups == 0 {
+		a.Groups = 1
+	}
+	if a.StrideH == 0 {
+		a.StrideH = 1
+	}
+	if a.StrideW == 0 {
+		a.StrideW = 1
+	}
+	if a.DataLayout == "" {
+		a.DataLayout = tensor.NCHW
+	}
+	return g.add(&Node{Name: name, Op: OpConv2D, Attrs: a, Inputs: []*Node{x, kernel}})
+}
+
+// Dense adds a fully connected layer: out = x × Wᵀ.
+func (g *Graph) Dense(name string, x, weights *Node) *Node {
+	return g.add(&Node{Name: name, Op: OpDense, Inputs: []*Node{x, weights}})
+}
+
+// BiasAdd adds a per-channel bias.
+func (g *Graph) BiasAdd(name string, x, bias *Node) *Node {
+	return g.add(&Node{Name: name, Op: OpBiasAdd, Inputs: []*Node{x, bias}})
+}
+
+// ReLU adds a rectified linear activation.
+func (g *Graph) ReLU(name string, x *Node) *Node {
+	return g.add(&Node{Name: name, Op: OpReLU, Inputs: []*Node{x}})
+}
+
+// Sigmoid adds a sigmoid activation.
+func (g *Graph) Sigmoid(name string, x *Node) *Node {
+	return g.add(&Node{Name: name, Op: OpSigmoid, Inputs: []*Node{x}})
+}
+
+// Tanh adds a tanh activation.
+func (g *Graph) Tanh(name string, x *Node) *Node {
+	return g.add(&Node{Name: name, Op: OpTanh, Inputs: []*Node{x}})
+}
+
+// MaxPool2D adds a max pooling layer.
+func (g *Graph) MaxPool2D(name string, x *Node, kernel, stride, pad int) *Node {
+	return g.add(&Node{Name: name, Op: OpMaxPool, Attrs: Attrs{PoolKernel: kernel, PoolStride: stride, PoolPad: pad}, Inputs: []*Node{x}})
+}
+
+// AvgPool2D adds an average pooling layer.
+func (g *Graph) AvgPool2D(name string, x *Node, kernel, stride, pad int) *Node {
+	return g.add(&Node{Name: name, Op: OpAvgPool, Attrs: Attrs{PoolKernel: kernel, PoolStride: stride, PoolPad: pad}, Inputs: []*Node{x}})
+}
+
+// Softmax adds a softmax over the last axis.
+func (g *Graph) Softmax(name string, x *Node) *Node {
+	return g.add(&Node{Name: name, Op: OpSoftmax, Inputs: []*Node{x}})
+}
+
+// LRN adds AlexNet-style local response normalisation.
+func (g *Graph) LRN(name string, x *Node, size int, alpha, beta, bias float64) *Node {
+	return g.add(&Node{Name: name, Op: OpLRN, Attrs: Attrs{LRNSize: size, LRNAlpha: alpha, LRNBeta: beta, LRNBias: bias}, Inputs: []*Node{x}})
+}
+
+// Flatten collapses trailing dimensions.
+func (g *Graph) Flatten(name string, x *Node) *Node {
+	return g.add(&Node{Name: name, Op: OpFlatten, Inputs: []*Node{x}})
+}
+
+// Add adds element-wise addition.
+func (g *Graph) Add(name string, a, b *Node) *Node {
+	return g.add(&Node{Name: name, Op: OpAdd, Inputs: []*Node{a, b}})
+}
+
+// BatchNorm adds inference-mode batch normalisation with parameters
+// (gamma, beta, mean, variance).
+func (g *Graph) BatchNorm(name string, x, gamma, beta, mean, variance *Node, eps float64) *Node {
+	return g.add(&Node{Name: name, Op: OpBatchNorm, Attrs: Attrs{Epsilon: eps}, Inputs: []*Node{x, gamma, beta, mean, variance}})
+}
+
+// Dropout adds an inference-mode dropout (identity) node.
+func (g *Graph) Dropout(name string, x *Node, rate float64) *Node {
+	return g.add(&Node{Name: name, Op: OpDropout, Attrs: Attrs{Rate: rate}, Inputs: []*Node{x}})
+}
+
+// MarkOutput designates a node as a graph output.
+func (g *Graph) MarkOutput(n *Node) { g.Outputs = append(g.Outputs, n) }
+
+// TopoSort returns nodes in a topological order (inputs before users).
+// It returns an error if the graph contains a cycle or an edge to a node
+// that is not part of the graph.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	known := make(map[*Node]bool, len(g.nodes))
+	for _, n := range g.nodes {
+		known[n] = true
+	}
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[*Node]int, len(g.nodes))
+	var order []*Node
+	var visit func(n *Node) error
+	visit = func(n *Node) error {
+		switch state[n] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("graph %q: cycle through node %q", g.Name, n.Name)
+		}
+		if !known[n] {
+			return fmt.Errorf("graph %q: edge to foreign node %q", g.Name, n.Name)
+		}
+		state[n] = visiting
+		for _, in := range n.Inputs {
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		state[n] = done
+		order = append(order, n)
+		return nil
+	}
+	// Deterministic order: walk nodes by insertion.
+	for _, n := range g.nodes {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Validate checks structural well-formedness: arity of every node, presence
+// of outputs, and acyclicity.
+func (g *Graph) Validate() error {
+	if len(g.Outputs) == 0 {
+		return fmt.Errorf("graph %q: no outputs marked", g.Name)
+	}
+	arity := map[OpKind][2]int{ // min, max input counts
+		OpInput: {0, 0}, OpConstant: {0, 0},
+		OpConv2D: {2, 2}, OpDense: {2, 2}, OpBiasAdd: {2, 2}, OpAdd: {2, 2},
+		OpReLU: {1, 1}, OpSigmoid: {1, 1}, OpTanh: {1, 1},
+		OpMaxPool: {1, 1}, OpAvgPool: {1, 1}, OpSoftmax: {1, 1},
+		OpLRN: {1, 1}, OpFlatten: {1, 1}, OpDropout: {1, 1},
+		OpBatchNorm: {5, 5},
+	}
+	for _, n := range g.nodes {
+		bounds, ok := arity[n.Op]
+		if !ok {
+			return fmt.Errorf("graph %q: node %q has unknown op %q", g.Name, n.Name, n.Op)
+		}
+		if len(n.Inputs) < bounds[0] || len(n.Inputs) > bounds[1] {
+			return fmt.Errorf("graph %q: node %q (%s) has %d inputs, want %d..%d",
+				g.Name, n.Name, n.Op, len(n.Inputs), bounds[0], bounds[1])
+		}
+		if n.Op == OpConstant && n.Value == nil {
+			return fmt.Errorf("graph %q: constant %q has no value", g.Name, n.Name)
+		}
+	}
+	_, err := g.TopoSort()
+	return err
+}
+
+// DOT renders the graph in Graphviz format, useful for debugging models.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	nodes := append([]*Node(nil), g.nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		label := fmt.Sprintf("%s\\n%s", n.Name, n.Op)
+		if n.OutShape != nil {
+			label += fmt.Sprintf("\\n%v", n.OutShape)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", n.ID, label)
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

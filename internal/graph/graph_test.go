@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func buildTiny(t *testing.T) (*Graph, *Node) {
+	t.Helper()
+	g := New("tiny")
+	x := g.Input("data", 1, 2, 6, 6)
+	w := g.Constant("w", tensor.RandomNormal(1, 0.5, 3, 2, 3, 3))
+	y := g.Conv2D("conv", x, w, Attrs{PadH: 1, PadW: 1})
+	b := g.Constant("b", tensor.RandomNormal(2, 0.5, 3))
+	y = g.BiasAdd("bias", y, b)
+	y = g.ReLU("relu", y)
+	y = g.MaxPool2D("pool", y, 2, 2, 0)
+	y = g.Flatten("flat", y)
+	fw := g.Constant("fw", tensor.RandomNormal(3, 0.5, 4, 27))
+	y = g.Dense("fc", y, fw)
+	y = g.Softmax("prob", y)
+	g.MarkOutput(y)
+	return g, y
+}
+
+func TestValidateOK(t *testing.T) {
+	g, _ := buildTiny(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateNoOutputs(t *testing.T) {
+	g := New("empty")
+	g.Input("x", 1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("graph without outputs must fail validation")
+	}
+}
+
+func TestValidateArity(t *testing.T) {
+	g := New("bad")
+	x := g.Input("x", 1, 2)
+	n := g.ReLU("r", x)
+	n.Inputs = append(n.Inputs, x) // corrupt arity
+	g.MarkOutput(n)
+	if err := g.Validate(); err == nil {
+		t.Fatal("wrong arity must fail validation")
+	}
+}
+
+func TestTopoSortOrder(t *testing.T) {
+	g, _ := buildTiny(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[*Node]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			if pos[in] >= pos[n] {
+				t.Fatalf("node %q appears before its input %q", n.Name, in.Name)
+			}
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New("cycle")
+	x := g.Input("x", 1, 2)
+	a := g.ReLU("a", x)
+	b := g.ReLU("b", a)
+	a.Inputs[0] = b // introduce a cycle
+	g.MarkOutput(b)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle must be detected")
+	}
+}
+
+func TestTopoSortForeignNode(t *testing.T) {
+	g := New("g1")
+	x := g.Input("x", 1, 2)
+	other := New("g2")
+	foreign := other.Input("y", 1, 2)
+	n := g.Add("add", x, foreign)
+	g.MarkOutput(n)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("edge to foreign node must be detected")
+	}
+}
+
+func TestInferShapes(t *testing.T) {
+	g, out := buildTiny(t)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(out.OutShape, []int{1, 4}) {
+		t.Fatalf("output shape = %v, want [1 4]", out.OutShape)
+	}
+}
+
+func TestInferShapesNHWCConv(t *testing.T) {
+	g := New("nhwc")
+	x := g.Input("data", 1, 8, 8, 3)             // NHWC
+	w := g.Constant("w", tensor.New(3, 3, 3, 5)) // RSCK
+	y := g.Conv2D("conv", x, w, Attrs{DataLayout: tensor.NHWC, PadH: 1, PadW: 1})
+	g.MarkOutput(y)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(y.OutShape, []int{1, 8, 8, 5}) {
+		t.Fatalf("NHWC conv output = %v, want [1 8 8 5]", y.OutShape)
+	}
+}
+
+func TestInferShapesDenseMismatch(t *testing.T) {
+	g := New("bad")
+	x := g.Input("x", 1, 10)
+	w := g.Constant("w", tensor.New(4, 11))
+	g.MarkOutput(g.Dense("fc", x, w))
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("dense reduction mismatch must fail shape inference")
+	}
+}
+
+func TestConvDimsOf(t *testing.T) {
+	g := New("c")
+	x := g.Input("x", 1, 3, 227, 227)
+	w := g.Constant("w", tensor.New(96, 3, 11, 11))
+	conv := g.Conv2D("conv1", x, w, Attrs{StrideH: 4, StrideW: 4})
+	g.MarkOutput(conv)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ConvDimsOf(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P() != 55 || d.Q() != 55 || d.K != 96 {
+		t.Fatalf("dims = %+v", d)
+	}
+	if _, err := ConvDimsOf(x); err == nil {
+		t.Fatal("ConvDimsOf on non-conv must error")
+	}
+}
+
+func TestExecutorEndToEnd(t *testing.T) {
+	g, _ := buildTiny(t)
+	ex := &Executor{Graph: g}
+	in := tensor.RandomUniform(9, 1, 1, 2, 6, 6)
+	outs, err := ex.Run(map[string]*tensor.Tensor{"data": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || !tensor.ShapeEq(outs[0].Shape(), []int{1, 4}) {
+		t.Fatalf("outputs = %v", outs)
+	}
+	var sum float64
+	for _, v := range outs[0].Data() {
+		sum += float64(v)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("softmax output must sum to 1, got %v", sum)
+	}
+}
+
+func TestExecutorMissingFeed(t *testing.T) {
+	g, _ := buildTiny(t)
+	ex := &Executor{Graph: g}
+	if _, err := ex.Run(nil); err == nil {
+		t.Fatal("missing feed must error")
+	}
+}
+
+func TestExecutorWrongFeedShape(t *testing.T) {
+	g, _ := buildTiny(t)
+	ex := &Executor{Graph: g}
+	if _, err := ex.Run(map[string]*tensor.Tensor{"data": tensor.New(1, 2, 5, 5)}); err == nil {
+		t.Fatal("wrong feed shape must error")
+	}
+}
+
+func TestExecutorOffloadIntercepts(t *testing.T) {
+	g := New("off")
+	x := g.Input("x", 1, 4)
+	w := g.Constant("w", tensor.RandomNormal(1, 1, 4, 4))
+	y := g.Dense("fc", x, w)
+	g.MarkOutput(y)
+	called := 0
+	ex := &Executor{
+		Graph: g,
+		Offload: func(n *Node, ins []*tensor.Tensor) (*tensor.Tensor, bool, error) {
+			if n.Op != OpDense {
+				return nil, false, nil
+			}
+			called++
+			out := tensor.New(1, 4)
+			out.Fill(7)
+			return out, true, nil
+		},
+	}
+	outs, err := ex.Run(map[string]*tensor.Tensor{"x": tensor.New(1, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called != 1 {
+		t.Fatalf("offload called %d times, want 1", called)
+	}
+	if outs[0].At(0, 0) != 7 {
+		t.Fatal("offload result must be used")
+	}
+}
+
+func TestExecutorOffloadShapeChecked(t *testing.T) {
+	g := New("off")
+	x := g.Input("x", 1, 4)
+	w := g.Constant("w", tensor.RandomNormal(1, 1, 4, 4))
+	g.MarkOutput(g.Dense("fc", x, w))
+	ex := &Executor{
+		Graph: g,
+		Offload: func(n *Node, ins []*tensor.Tensor) (*tensor.Tensor, bool, error) {
+			if n.Op != OpDense {
+				return nil, false, nil
+			}
+			return tensor.New(2, 2), true, nil // wrong shape
+		},
+	}
+	if _, err := ex.Run(map[string]*tensor.Tensor{"x": tensor.New(1, 4)}); err == nil {
+		t.Fatal("offload returning wrong shape must be rejected")
+	}
+}
+
+func TestDOTContainsNodes(t *testing.T) {
+	g, _ := buildTiny(t)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "conv", "relu", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestBatchNormShapeInference(t *testing.T) {
+	g := New("bn")
+	x := g.Input("x", 1, 4, 5, 5)
+	p := func(name string) *Node { return g.Constant(name, tensor.New(4)) }
+	y := g.BatchNorm("bn", x, p("g"), p("b"), p("m"), p("v"), 1e-5)
+	g.MarkOutput(y)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(y.OutShape, []int{1, 4, 5, 5}) {
+		t.Fatalf("bn shape = %v", y.OutShape)
+	}
+}

@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvDimsOf reconstructs the convolution geometry of a conv2d node from its
+// input shapes and attributes. The node's inputs must already have shapes.
+func ConvDimsOf(n *Node) (tensor.ConvDims, error) {
+	if n.Op != OpConv2D {
+		return tensor.ConvDims{}, fmt.Errorf("graph: node %q is %s, not conv2d", n.Name, n.Op)
+	}
+	in := n.Inputs[0].OutShape
+	ker := n.Inputs[1].OutShape
+	if len(in) != 4 || len(ker) != 4 {
+		return tensor.ConvDims{}, fmt.Errorf("graph: conv2d %q needs 4-D input and kernel, got %v and %v", n.Name, in, ker)
+	}
+	var d tensor.ConvDims
+	switch n.Attrs.DataLayout {
+	case tensor.NCHW, "":
+		d = tensor.ConvDims{N: in[0], C: in[1], H: in[2], W: in[3], K: ker[0], R: ker[2], S: ker[3]}
+	case tensor.NHWC:
+		// NHWC activations pair with RSCK kernels.
+		d = tensor.ConvDims{N: in[0], C: in[3], H: in[1], W: in[2], K: ker[3], R: ker[0], S: ker[1]}
+	default:
+		return tensor.ConvDims{}, fmt.Errorf("graph: conv2d %q has unsupported layout %q", n.Name, n.Attrs.DataLayout)
+	}
+	d.G = n.Attrs.Groups
+	d.StrideH, d.StrideW = n.Attrs.StrideH, n.Attrs.StrideW
+	d.PadH, d.PadW = n.Attrs.PadH, n.Attrs.PadW
+	if err := d.Resolve(); err != nil {
+		return tensor.ConvDims{}, fmt.Errorf("graph: conv2d %q: %w", n.Name, err)
+	}
+	return d, nil
+}
+
+// InferShapes fills OutShape for every node, in topological order.
+func (g *Graph) InferShapes() error {
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	for _, n := range order {
+		if err := inferNode(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func inferNode(n *Node) error {
+	shapeOf := func(i int) []int { return n.Inputs[i].OutShape }
+	switch n.Op {
+	case OpInput, OpConstant:
+		if n.OutShape == nil {
+			return fmt.Errorf("graph: %s node %q has no shape", n.Op, n.Name)
+		}
+		return nil
+	case OpConv2D:
+		d, err := ConvDimsOf(n)
+		if err != nil {
+			return err
+		}
+		if n.Attrs.DataLayout == tensor.NHWC {
+			n.OutShape = []int{d.N, d.P(), d.Q(), d.K}
+		} else {
+			n.OutShape = []int{d.N, d.K, d.P(), d.Q()}
+		}
+	case OpDense:
+		in, w := shapeOf(0), shapeOf(1)
+		if len(in) != 2 || len(w) != 2 {
+			return fmt.Errorf("graph: dense %q needs 2-D input and weights, got %v and %v", n.Name, in, w)
+		}
+		if in[1] != w[1] {
+			return fmt.Errorf("graph: dense %q reduction mismatch: %v × %v", n.Name, in, w)
+		}
+		n.OutShape = []int{in[0], w[0]}
+	case OpBiasAdd:
+		in, b := shapeOf(0), shapeOf(1)
+		var channels int
+		switch len(in) {
+		case 4:
+			channels = in[1]
+		case 2:
+			channels = in[1]
+		default:
+			return fmt.Errorf("graph: bias_add %q unsupported input rank %d", n.Name, len(in))
+		}
+		if len(b) != 1 || b[0] != channels {
+			return fmt.Errorf("graph: bias_add %q bias shape %v does not match channels %d", n.Name, b, channels)
+		}
+		n.OutShape = append([]int(nil), in...)
+	case OpReLU, OpSigmoid, OpTanh, OpSoftmax, OpDropout:
+		n.OutShape = append([]int(nil), shapeOf(0)...)
+	case OpLRN:
+		in := shapeOf(0)
+		if len(in) != 4 {
+			return fmt.Errorf("graph: lrn %q needs 4-D input, got %v", n.Name, in)
+		}
+		n.OutShape = append([]int(nil), in...)
+	case OpBatchNorm:
+		in := shapeOf(0)
+		if len(in) != 4 {
+			return fmt.Errorf("graph: batch_norm %q needs 4-D input, got %v", n.Name, in)
+		}
+		for i := 1; i <= 4; i++ {
+			p := shapeOf(i)
+			if len(p) != 1 || p[0] != in[1] {
+				return fmt.Errorf("graph: batch_norm %q parameter %d shape %v does not match channels %d", n.Name, i, p, in[1])
+			}
+		}
+		n.OutShape = append([]int(nil), in...)
+	case OpMaxPool, OpAvgPool:
+		in := shapeOf(0)
+		if len(in) != 4 {
+			return fmt.Errorf("graph: pool %q needs 4-D input, got %v", n.Name, in)
+		}
+		k, s, p := n.Attrs.PoolKernel, n.Attrs.PoolStride, n.Attrs.PoolPad
+		if k <= 0 || s <= 0 {
+			return fmt.Errorf("graph: pool %q invalid kernel=%d stride=%d", n.Name, k, s)
+		}
+		oh := (in[2]+2*p-k)/s + 1
+		ow := (in[3]+2*p-k)/s + 1
+		if oh <= 0 || ow <= 0 {
+			return fmt.Errorf("graph: pool %q output would be empty", n.Name)
+		}
+		n.OutShape = []int{in[0], in[1], oh, ow}
+	case OpFlatten:
+		in := shapeOf(0)
+		rest := 1
+		for _, d := range in[1:] {
+			rest *= d
+		}
+		n.OutShape = []int{in[0], rest}
+	case OpAdd:
+		a, b := shapeOf(0), shapeOf(1)
+		if !tensor.ShapeEq(a, b) {
+			return fmt.Errorf("graph: add %q shape mismatch %v vs %v", n.Name, a, b)
+		}
+		n.OutShape = append([]int(nil), a...)
+	default:
+		return fmt.Errorf("graph: no shape rule for op %q", n.Op)
+	}
+	return nil
+}

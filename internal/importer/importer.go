@@ -1,0 +1,229 @@
+// Package importer serialises graphs to and from a JSON interchange format.
+// It is this reproduction's stand-in for TVM's model importers: where
+// Bifrost accepts PyTorch/TensorFlow/ONNX models through TVM's frontends,
+// this repo accepts any model expressed in (or exported to) the JSON schema
+// below, exercising the same parse → IR → execute pipeline.
+package importer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// fileModel is the top-level JSON document.
+type fileModel struct {
+	Name    string     `json:"name"`
+	Nodes   []fileNode `json:"nodes"`
+	Outputs []string   `json:"outputs"`
+}
+
+// fileNode is a single operator in the JSON document. Inputs refer to node
+// names, which therefore must be unique.
+type fileNode struct {
+	Name   string    `json:"name"`
+	Op     string    `json:"op"`
+	Inputs []string  `json:"inputs,omitempty"`
+	Shape  []int     `json:"shape,omitempty"` // input/constant shape
+	Data   []float32 `json:"data,omitempty"`  // constant payload; zeros if omitted
+
+	Strides []int   `json:"strides,omitempty"`
+	Padding []int   `json:"padding,omitempty"`
+	Groups  int     `json:"groups,omitempty"`
+	Layout  string  `json:"layout,omitempty"`
+	Kernel  int     `json:"kernel,omitempty"`
+	Stride  int     `json:"stride,omitempty"`
+	Pad     int     `json:"pad,omitempty"`
+	Size    int     `json:"size,omitempty"`
+	Alpha   float64 `json:"alpha,omitempty"`
+	Beta    float64 `json:"beta,omitempty"`
+	Bias    float64 `json:"bias,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+}
+
+// Load reads a JSON model from r and builds a validated graph with inferred
+// shapes.
+func Load(r io.Reader) (*graph.Graph, error) {
+	var fm fileModel
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fm); err != nil {
+		return nil, fmt.Errorf("importer: decoding model: %w", err)
+	}
+	g := graph.New(fm.Name)
+	byName := make(map[string]*graph.Node, len(fm.Nodes))
+	resolve := func(owner string, names []string) ([]*graph.Node, error) {
+		out := make([]*graph.Node, len(names))
+		for i, nm := range names {
+			n, ok := byName[nm]
+			if !ok {
+				return nil, fmt.Errorf("importer: node %q references unknown input %q", owner, nm)
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+	for _, fn := range fm.Nodes {
+		if _, dup := byName[fn.Name]; dup {
+			return nil, fmt.Errorf("importer: duplicate node name %q", fn.Name)
+		}
+		ins, err := resolve(fn.Name, fn.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		var node *graph.Node
+		switch graph.OpKind(fn.Op) {
+		case graph.OpInput:
+			if len(fn.Shape) == 0 {
+				return nil, fmt.Errorf("importer: input %q missing shape", fn.Name)
+			}
+			node = g.Input(fn.Name, fn.Shape...)
+		case graph.OpConstant:
+			if len(fn.Shape) == 0 {
+				return nil, fmt.Errorf("importer: constant %q missing shape", fn.Name)
+			}
+			var t *tensor.Tensor
+			if fn.Data != nil {
+				t = tensor.FromData(fn.Data, fn.Shape...)
+			} else {
+				t = tensor.New(fn.Shape...)
+			}
+			node = g.Constant(fn.Name, t)
+		case graph.OpConv2D:
+			if len(ins) != 2 {
+				return nil, fmt.Errorf("importer: conv2d %q needs 2 inputs", fn.Name)
+			}
+			a := graph.Attrs{Groups: fn.Groups, DataLayout: tensor.Layout(fn.Layout)}
+			if len(fn.Strides) == 2 {
+				a.StrideH, a.StrideW = fn.Strides[0], fn.Strides[1]
+			}
+			if len(fn.Padding) == 2 {
+				a.PadH, a.PadW = fn.Padding[0], fn.Padding[1]
+			}
+			node = g.Conv2D(fn.Name, ins[0], ins[1], a)
+		case graph.OpDense:
+			if len(ins) != 2 {
+				return nil, fmt.Errorf("importer: dense %q needs 2 inputs", fn.Name)
+			}
+			node = g.Dense(fn.Name, ins[0], ins[1])
+		case graph.OpBiasAdd:
+			if len(ins) != 2 {
+				return nil, fmt.Errorf("importer: bias_add %q needs 2 inputs", fn.Name)
+			}
+			node = g.BiasAdd(fn.Name, ins[0], ins[1])
+		case graph.OpReLU:
+			node = g.ReLU(fn.Name, ins[0])
+		case graph.OpSigmoid:
+			node = g.Sigmoid(fn.Name, ins[0])
+		case graph.OpTanh:
+			node = g.Tanh(fn.Name, ins[0])
+		case graph.OpMaxPool:
+			node = g.MaxPool2D(fn.Name, ins[0], fn.Kernel, fn.Stride, fn.Pad)
+		case graph.OpAvgPool:
+			node = g.AvgPool2D(fn.Name, ins[0], fn.Kernel, fn.Stride, fn.Pad)
+		case graph.OpSoftmax:
+			node = g.Softmax(fn.Name, ins[0])
+		case graph.OpLRN:
+			node = g.LRN(fn.Name, ins[0], fn.Size, fn.Alpha, fn.Beta, fn.Bias)
+		case graph.OpFlatten:
+			node = g.Flatten(fn.Name, ins[0])
+		case graph.OpAdd:
+			if len(ins) != 2 {
+				return nil, fmt.Errorf("importer: add %q needs 2 inputs", fn.Name)
+			}
+			node = g.Add(fn.Name, ins[0], ins[1])
+		case graph.OpBatchNorm:
+			if len(ins) != 5 {
+				return nil, fmt.Errorf("importer: batch_norm %q needs 5 inputs", fn.Name)
+			}
+			node = g.BatchNorm(fn.Name, ins[0], ins[1], ins[2], ins[3], ins[4], fn.Epsilon)
+		case graph.OpDropout:
+			node = g.Dropout(fn.Name, ins[0], fn.Rate)
+		default:
+			return nil, fmt.Errorf("importer: unknown op %q in node %q", fn.Op, fn.Name)
+		}
+		byName[fn.Name] = node
+	}
+	for _, nm := range fm.Outputs {
+		n, ok := byName[nm]
+		if !ok {
+			return nil, fmt.Errorf("importer: unknown output %q", nm)
+		}
+		g.MarkOutput(n)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.InferShapes(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadFile reads a JSON model from disk.
+func LoadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes a graph to w in the JSON interchange format, embedding
+// constant payloads.
+func Save(w io.Writer, g *graph.Graph) error {
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	fm := fileModel{Name: g.Name}
+	for _, n := range order {
+		fn := fileNode{Name: n.Name, Op: string(n.Op)}
+		for _, in := range n.Inputs {
+			fn.Inputs = append(fn.Inputs, in.Name)
+		}
+		switch n.Op {
+		case graph.OpInput:
+			fn.Shape = n.OutShape
+		case graph.OpConstant:
+			fn.Shape = n.Value.Shape()
+			fn.Data = n.Value.Data()
+		case graph.OpConv2D:
+			fn.Strides = []int{n.Attrs.StrideH, n.Attrs.StrideW}
+			fn.Padding = []int{n.Attrs.PadH, n.Attrs.PadW}
+			fn.Groups = n.Attrs.Groups
+			fn.Layout = string(n.Attrs.DataLayout)
+		case graph.OpMaxPool, graph.OpAvgPool:
+			fn.Kernel, fn.Stride, fn.Pad = n.Attrs.PoolKernel, n.Attrs.PoolStride, n.Attrs.PoolPad
+		case graph.OpLRN:
+			fn.Size, fn.Alpha, fn.Beta, fn.Bias = n.Attrs.LRNSize, n.Attrs.LRNAlpha, n.Attrs.LRNBeta, n.Attrs.LRNBias
+		case graph.OpBatchNorm:
+			fn.Epsilon = n.Attrs.Epsilon
+		case graph.OpDropout:
+			fn.Rate = n.Attrs.Rate
+		}
+		fm.Nodes = append(fm.Nodes, fn)
+	}
+	for _, out := range g.Outputs {
+		fm.Outputs = append(fm.Outputs, out.Name)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(fm)
+}
+
+// SaveFile writes a graph to disk in the JSON interchange format.
+func SaveFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Save(f, g)
+}

@@ -1,0 +1,149 @@
+package importer
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+const tinyModel = `{
+ "name": "tiny",
+ "nodes": [
+  {"name": "data", "op": "input", "shape": [1, 2, 6, 6]},
+  {"name": "w", "op": "constant", "shape": [3, 2, 3, 3]},
+  {"name": "conv", "op": "conv2d", "inputs": ["data", "w"], "strides": [1, 1], "padding": [1, 1]},
+  {"name": "relu", "op": "relu", "inputs": ["conv"]},
+  {"name": "pool", "op": "max_pool2d", "inputs": ["relu"], "kernel": 2, "stride": 2},
+  {"name": "flat", "op": "flatten", "inputs": ["pool"]},
+  {"name": "fw", "op": "constant", "shape": [4, 27]},
+  {"name": "fc", "op": "dense", "inputs": ["flat", "fw"]},
+  {"name": "prob", "op": "softmax", "inputs": ["fc"]}
+ ],
+ "outputs": ["prob"]
+}`
+
+func TestLoadTinyModel(t *testing.T) {
+	g, err := Load(strings.NewReader(tinyModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "tiny" {
+		t.Fatalf("name = %q", g.Name)
+	}
+	if len(g.Outputs) != 1 || !tensor.ShapeEq(g.Outputs[0].OutShape, []int{1, 4}) {
+		t.Fatalf("output shape = %v", g.Outputs[0].OutShape)
+	}
+	ex := &graph.Executor{Graph: g}
+	outs, err := ex.Run(map[string]*tensor.Tensor{"data": tensor.RandomUniform(1, 1, 1, 2, 6, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(outs[0].Shape(), []int{1, 4}) {
+		t.Fatalf("executed output shape = %v", outs[0].Shape())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":          `{`,
+		"unknown op":        `{"name":"x","nodes":[{"name":"a","op":"frobnicate"}],"outputs":[]}`,
+		"unknown input ref": `{"name":"x","nodes":[{"name":"a","op":"relu","inputs":["nope"]}],"outputs":["a"]}`,
+		"missing shape":     `{"name":"x","nodes":[{"name":"a","op":"input"}],"outputs":["a"]}`,
+		"dup name":          `{"name":"x","nodes":[{"name":"a","op":"input","shape":[1]},{"name":"a","op":"input","shape":[1]}],"outputs":["a"]}`,
+		"unknown output":    `{"name":"x","nodes":[{"name":"a","op":"input","shape":[1]}],"outputs":["b"]}`,
+		"no outputs":        `{"name":"x","nodes":[{"name":"a","op":"input","shape":[1]}],"outputs":[]}`,
+		"conv arity":        `{"name":"x","nodes":[{"name":"a","op":"input","shape":[1,1,4,4]},{"name":"c","op":"conv2d","inputs":["a"]}],"outputs":["c"]}`,
+		"unknown field":     `{"name":"x","zorp":1,"nodes":[],"outputs":[]}`,
+	}
+	for label, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: expected error", label)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := models.TinyCNN(42)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandomUniform(5, 1, 1, 2, 10, 10)
+	run := func(g *graph.Graph) *tensor.Tensor {
+		ex := &graph.Executor{Graph: g}
+		outs, err := ex.Run(map[string]*tensor.Tensor{"data": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs[0]
+	}
+	a, b := run(g), run(g2)
+	if !tensor.AllClose(a, b, 1e-6) {
+		t.Fatalf("round-trip changed semantics: max diff %v", tensor.MaxAbsDiff(a, b))
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	g := models.MLP(1, 8, 16, 4)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatalf("node count %d != %d", g2.NumNodes(), g.NumNodes())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestRoundTripLeNetStructure(t *testing.T) {
+	g := models.LeNet5(7)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := models.ExtractLayers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := models.ExtractLayers(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1) != len(l2) {
+		t.Fatalf("layer count %d != %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i].String() != l2[i].String() {
+			t.Fatalf("layer %d: %q != %q", i, l1[i], l2[i])
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package models provides the model zoo used throughout the evaluation. The
+// centrepiece is AlexNet with the exact layer geometry of Krizhevsky et al.
+// (the paper's benchmark workload); LeNet-5, a two-layer MLP and a tiny CNN
+// round out the zoo for tests and examples. Weights are seeded random —
+// cycle counts depend only on layer geometry and (for SIGMA) on sparsity,
+// which is applied by magnitude pruning.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// LayerSpec describes a single offloadable layer extracted from a model, the
+// unit of per-layer benchmarking in §VIII of the paper.
+type LayerSpec struct {
+	Name string
+	Op   graph.OpKind // OpConv2D or OpDense
+
+	// Conv geometry (valid when Op == OpConv2D).
+	Conv tensor.ConvDims
+
+	// Dense geometry (valid when Op == OpDense): M batches, K input
+	// neurons, N output neurons.
+	M, K, N int
+}
+
+// MACs returns the layer's multiply-accumulate count.
+func (l LayerSpec) MACs() int64 {
+	if l.Op == graph.OpConv2D {
+		return l.Conv.MACs()
+	}
+	return int64(l.M) * int64(l.K) * int64(l.N)
+}
+
+// String renders a compact description for reports.
+func (l LayerSpec) String() string {
+	if l.Op == graph.OpConv2D {
+		c := l.Conv
+		return fmt.Sprintf("%s conv K=%d C=%d %dx%d/%d HW=%dx%d G=%d", l.Name, c.K, c.C, c.R, c.S, c.StrideH, c.H, c.W, c.G)
+	}
+	return fmt.Sprintf("%s dense %dx%d->%d", l.Name, l.M, l.K, l.N)
+}
+
+// AlexNet builds the canonical AlexNet inference graph (batch 1, 227×227
+// input, grouped conv2/4/5 as in the original two-GPU layout). Weight
+// tensors are seeded from `seed`.
+func AlexNet(seed int64) *graph.Graph {
+	g := graph.New("alexnet")
+	x := g.Input("data", 1, 3, 227, 227)
+
+	conv := func(name string, x *graph.Node, k, c, r, stride, pad, groups int, s int64) *graph.Node {
+		w := g.Constant(name+".weight", tensor.RandomNormal(s, 0.05, k, c/groups, r, r))
+		b := g.Constant(name+".bias", tensor.RandomNormal(s+1, 0.05, k))
+		y := g.Conv2D(name, x, w, graph.Attrs{StrideH: stride, StrideW: stride, PadH: pad, PadW: pad, Groups: groups})
+		return g.ReLU(name+".relu", g.BiasAdd(name+".biasadd", y, b))
+	}
+	dense := func(name string, x *graph.Node, in, out int, s int64) *graph.Node {
+		w := g.Constant(name+".weight", tensor.RandomNormal(s, 0.02, out, in))
+		b := g.Constant(name+".bias", tensor.RandomNormal(s+1, 0.02, out))
+		return g.BiasAdd(name+".biasadd", g.Dense(name, x, w), b)
+	}
+
+	// Features.
+	y := conv("conv1", x, 96, 3, 11, 4, 0, 1, seed)
+	y = g.LRN("lrn1", y, 5, 1e-4, 0.75, 2)
+	y = g.MaxPool2D("pool1", y, 3, 2, 0)
+	y = conv("conv2", y, 256, 96, 5, 1, 2, 2, seed+10)
+	y = g.LRN("lrn2", y, 5, 1e-4, 0.75, 2)
+	y = g.MaxPool2D("pool2", y, 3, 2, 0)
+	y = conv("conv3", y, 384, 256, 3, 1, 1, 1, seed+20)
+	y = conv("conv4", y, 384, 384, 3, 1, 1, 2, seed+30)
+	y = conv("conv5", y, 256, 384, 3, 1, 1, 2, seed+40)
+	y = g.MaxPool2D("pool5", y, 3, 2, 0)
+
+	// Classifier.
+	y = g.Flatten("flatten", y)
+	y = g.Dropout("drop6", y, 0.5)
+	y = g.ReLU("fc6.relu", dense("fc6", y, 256*6*6, 4096, seed+50))
+	y = g.Dropout("drop7", y, 0.5)
+	y = g.ReLU("fc7.relu", dense("fc7", y, 4096, 4096, seed+60))
+	y = dense("fc8", y, 4096, 1000, seed+70)
+	y = g.Softmax("prob", y)
+	g.MarkOutput(y)
+	return g
+}
+
+// AlexNetLayers returns the 5 convolutional and 3 fully connected layer
+// geometries of AlexNet, the per-layer workloads of Figures 9, 11, 12 and
+// Table VI.
+func AlexNetLayers() []LayerSpec {
+	mk := func(name string, k, c, r, h, stride, pad, groups int) LayerSpec {
+		d := tensor.ConvDims{N: 1, C: c, H: h, W: h, K: k, R: r, S: r, G: groups,
+			StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}
+		if err := d.Resolve(); err != nil {
+			panic(fmt.Sprintf("models: AlexNet layer %s: %v", name, err))
+		}
+		return LayerSpec{Name: name, Op: graph.OpConv2D, Conv: d}
+	}
+	return []LayerSpec{
+		mk("conv1", 96, 3, 11, 227, 4, 0, 1),
+		mk("conv2", 256, 96, 5, 27, 1, 2, 2),
+		mk("conv3", 384, 256, 3, 13, 1, 1, 1),
+		mk("conv4", 384, 384, 3, 13, 1, 1, 2),
+		mk("conv5", 256, 384, 3, 13, 1, 1, 2),
+		{Name: "fc1", Op: graph.OpDense, M: 1, K: 9216, N: 4096},
+		{Name: "fc2", Op: graph.OpDense, M: 1, K: 4096, N: 4096},
+		{Name: "fc3", Op: graph.OpDense, M: 1, K: 4096, N: 1000},
+	}
+}
+
+// AlexNetMiniLayers returns geometry-faithful but scaled-down versions of
+// the AlexNet layers, keeping kernel sizes, strides and grouping while
+// shrinking channel counts and spatial extents. Used by `go test` benchmarks
+// where the full layers would take minutes per mapping.
+func AlexNetMiniLayers() []LayerSpec {
+	mk := func(name string, k, c, r, h, stride, pad, groups int) LayerSpec {
+		d := tensor.ConvDims{N: 1, C: c, H: h, W: h, K: k, R: r, S: r, G: groups,
+			StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}
+		if err := d.Resolve(); err != nil {
+			panic(fmt.Sprintf("models: AlexNet-mini layer %s: %v", name, err))
+		}
+		return LayerSpec{Name: name, Op: graph.OpConv2D, Conv: d}
+	}
+	return []LayerSpec{
+		mk("conv1", 12, 3, 11, 59, 4, 0, 1),
+		mk("conv2", 32, 12, 5, 13, 1, 2, 2),
+		mk("conv3", 48, 32, 3, 7, 1, 1, 1),
+		mk("conv4", 48, 48, 3, 7, 1, 1, 2),
+		mk("conv5", 32, 48, 3, 7, 1, 1, 2),
+		{Name: "fc1", Op: graph.OpDense, M: 1, K: 288, N: 128},
+		{Name: "fc2", Op: graph.OpDense, M: 1, K: 128, N: 128},
+		{Name: "fc3", Op: graph.OpDense, M: 1, K: 128, N: 40},
+	}
+}
+
+// LeNet5 builds a LeNet-5 style CNN for 1×28×28 inputs.
+func LeNet5(seed int64) *graph.Graph {
+	g := graph.New("lenet5")
+	x := g.Input("data", 1, 1, 28, 28)
+	w1 := g.Constant("conv1.weight", tensor.RandomNormal(seed, 0.1, 6, 1, 5, 5))
+	y := g.Conv2D("conv1", x, w1, graph.Attrs{PadH: 2, PadW: 2})
+	y = g.Tanh("tanh1", y)
+	y = g.AvgPool2D("pool1", y, 2, 2, 0)
+	w2 := g.Constant("conv2.weight", tensor.RandomNormal(seed+1, 0.1, 16, 6, 5, 5))
+	y = g.Conv2D("conv2", y, w2, graph.Attrs{})
+	y = g.Tanh("tanh2", y)
+	y = g.AvgPool2D("pool2", y, 2, 2, 0)
+	y = g.Flatten("flatten", y)
+	w3 := g.Constant("fc1.weight", tensor.RandomNormal(seed+2, 0.1, 120, 400))
+	y = g.Tanh("tanh3", g.Dense("fc1", y, w3))
+	w4 := g.Constant("fc2.weight", tensor.RandomNormal(seed+3, 0.1, 84, 120))
+	y = g.Tanh("tanh4", g.Dense("fc2", y, w4))
+	w5 := g.Constant("fc3.weight", tensor.RandomNormal(seed+4, 0.1, 10, 84))
+	y = g.Softmax("prob", g.Dense("fc3", y, w5))
+	g.MarkOutput(y)
+	return g
+}
+
+// MLP builds a small two-hidden-layer perceptron for flat inputs.
+func MLP(seed int64, in, hidden, out int) *graph.Graph {
+	g := graph.New("mlp")
+	x := g.Input("data", 1, in)
+	w1 := g.Constant("fc1.weight", tensor.RandomNormal(seed, 0.1, hidden, in))
+	y := g.ReLU("relu1", g.Dense("fc1", x, w1))
+	w2 := g.Constant("fc2.weight", tensor.RandomNormal(seed+1, 0.1, hidden, hidden))
+	y = g.ReLU("relu2", g.Dense("fc2", y, w2))
+	w3 := g.Constant("fc3.weight", tensor.RandomNormal(seed+2, 0.1, out, hidden))
+	y = g.Softmax("prob", g.Dense("fc3", y, w3))
+	g.MarkOutput(y)
+	return g
+}
+
+// TinyCNN builds a minimal conv+dense network used by fast end-to-end tests.
+func TinyCNN(seed int64) *graph.Graph {
+	g := graph.New("tinycnn")
+	x := g.Input("data", 1, 2, 10, 10)
+	w1 := g.Constant("conv1.weight", tensor.RandomNormal(seed, 0.2, 4, 2, 3, 3))
+	b1 := g.Constant("conv1.bias", tensor.RandomNormal(seed+1, 0.2, 4))
+	y := g.ReLU("relu1", g.BiasAdd("conv1.biasadd", g.Conv2D("conv1", x, w1, graph.Attrs{PadH: 1, PadW: 1}), b1))
+	y = g.MaxPool2D("pool1", y, 2, 2, 0)
+	y = g.Flatten("flatten", y)
+	w2 := g.Constant("fc1.weight", tensor.RandomNormal(seed+2, 0.2, 8, 100))
+	y = g.Softmax("prob", g.Dense("fc1", y, w2))
+	g.MarkOutput(y)
+	return g
+}
+
+// ExtractLayers walks a shape-inferred graph and returns the LayerSpec of
+// every conv2d and dense node, in topological order. This is how the bench
+// harness derives per-layer workloads from an arbitrary imported model.
+func ExtractLayers(g *graph.Graph) ([]LayerSpec, error) {
+	if err := g.InferShapes(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	var out []LayerSpec
+	for _, n := range order {
+		switch n.Op {
+		case graph.OpConv2D:
+			d, err := graph.ConvDimsOf(n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, LayerSpec{Name: n.Name, Op: graph.OpConv2D, Conv: d})
+		case graph.OpDense:
+			in, w := n.Inputs[0].OutShape, n.Inputs[1].OutShape
+			out = append(out, LayerSpec{Name: n.Name, Op: graph.OpDense, M: in[0], K: in[1], N: w[0]})
+		}
+	}
+	return out, nil
+}
+
+// TinyCNNNHWC builds the TinyCNN with NHWC activations and RSCK kernels —
+// the TensorFlow-default layouts (§V-B). It exercises Bifrost's second
+// convolution entry point (tvm.contrib.stonne.conv2d.nhwc in the paper).
+func TinyCNNNHWC(seed int64) *graph.Graph {
+	g := graph.New("tinycnn-nhwc")
+	x := g.Input("data", 1, 10, 10, 2)                                           // NHWC
+	w1 := g.Constant("conv1.weight", tensor.RandomNormal(seed, 0.2, 3, 3, 2, 4)) // RSCK
+	y := g.Conv2D("conv1", x, w1, graph.Attrs{PadH: 1, PadW: 1, DataLayout: tensor.NHWC})
+	y = g.ReLU("relu1", y)
+	y = g.Flatten("flatten", y)
+	w2 := g.Constant("fc1.weight", tensor.RandomNormal(seed+2, 0.2, 8, 400))
+	y = g.Softmax("prob", g.Dense("fc1", y, w2))
+	g.MarkOutput(y)
+	return g
+}
+
+// MiniResNet builds a small residual CNN (two conv blocks with identity
+// skip connections and batch norm) for 1×8×16×16 inputs. It exercises the
+// element-wise add and batch-norm folding paths end to end.
+func MiniResNet(seed int64) *graph.Graph {
+	g := graph.New("miniresnet")
+	x := g.Input("data", 1, 8, 16, 16)
+	block := func(name string, x *graph.Node, c int, s int64) *graph.Node {
+		w := g.Constant(name+".weight", tensor.RandomNormal(s, 0.1, c, c, 3, 3))
+		y := g.Conv2D(name+".conv", x, w, graph.Attrs{PadH: 1, PadW: 1})
+		gamma := g.Constant(name+".gamma", onesTensor(c))
+		beta := g.Constant(name+".beta", tensor.New(c))
+		mean := g.Constant(name+".mean", tensor.New(c))
+		variance := g.Constant(name+".var", onesTensor(c))
+		y = g.BatchNorm(name+".bn", y, gamma, beta, mean, variance, 1e-5)
+		y = g.Add(name+".skip", y, x)
+		return g.ReLU(name+".relu", y)
+	}
+	y := block("block1", x, 8, seed)
+	y = block("block2", y, 8, seed+10)
+	y = g.AvgPool2D("pool", y, 4, 4, 0)
+	y = g.Flatten("flatten", y)
+	w := g.Constant("fc.weight", tensor.RandomNormal(seed+20, 0.1, 10, 8*4*4))
+	y = g.Softmax("prob", g.Dense("fc", y, w))
+	g.MarkOutput(y)
+	return g
+}
+
+func onesTensor(n int) *tensor.Tensor {
+	t := tensor.New(n)
+	t.Fill(1)
+	return t
+}

@@ -1,0 +1,224 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestAlexNetShapes(t *testing.T) {
+	g := AlexNet(1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(g.Outputs[0].OutShape, []int{1, 1000}) {
+		t.Fatalf("AlexNet output shape = %v, want [1 1000]", g.Outputs[0].OutShape)
+	}
+	// Spot-check canonical intermediate shapes.
+	want := map[string][]int{
+		"conv1":   {1, 96, 55, 55},
+		"pool1":   {1, 96, 27, 27},
+		"conv2":   {1, 256, 27, 27},
+		"pool2":   {1, 256, 13, 13},
+		"conv3":   {1, 384, 13, 13},
+		"conv4":   {1, 384, 13, 13},
+		"conv5":   {1, 256, 13, 13},
+		"pool5":   {1, 256, 6, 6},
+		"flatten": {1, 9216},
+		"fc6":     {1, 4096},
+		"fc7":     {1, 4096},
+		"fc8":     {1, 1000},
+	}
+	for _, n := range g.Nodes() {
+		if w, ok := want[n.Name]; ok {
+			if !tensor.ShapeEq(n.OutShape, w) {
+				t.Fatalf("node %q shape = %v, want %v", n.Name, n.OutShape, w)
+			}
+		}
+	}
+}
+
+func TestAlexNetLayersMatchPaper(t *testing.T) {
+	layers := AlexNetLayers()
+	if len(layers) != 8 {
+		t.Fatalf("AlexNet has %d offloadable layers, want 8", len(layers))
+	}
+	// 5 convs then 3 FCs (the per-layer workloads of Figs 9, 11, 12).
+	for i, l := range layers[:5] {
+		if l.Op != graph.OpConv2D {
+			t.Fatalf("layer %d should be conv, got %s", i, l.Op)
+		}
+	}
+	for i, l := range layers[5:] {
+		if l.Op != graph.OpDense {
+			t.Fatalf("fc layer %d should be dense, got %s", i, l.Op)
+		}
+	}
+	if layers[0].Conv.P() != 55 {
+		t.Fatalf("conv1 P = %d, want 55", layers[0].Conv.P())
+	}
+	if layers[5].K != 9216 || layers[5].N != 4096 {
+		t.Fatalf("fc1 = %dx%d, want 9216x4096", layers[5].K, layers[5].N)
+	}
+	// MAC counts: conv layers dominate; fc1 is the largest dense layer.
+	if layers[0].MACs() != int64(96*55*55*11*11*3) {
+		t.Fatalf("conv1 MACs = %d", layers[0].MACs())
+	}
+	if layers[5].MACs() != int64(9216*4096) {
+		t.Fatalf("fc1 MACs = %d", layers[5].MACs())
+	}
+}
+
+func TestAlexNetLayersMatchExtraction(t *testing.T) {
+	// The hand-written layer table must agree with what ExtractLayers pulls
+	// out of the actual AlexNet graph.
+	g := AlexNet(3)
+	extracted, err := ExtractLayers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := AlexNetLayers()
+	if len(extracted) != len(table) {
+		t.Fatalf("extracted %d layers, table has %d", len(extracted), len(table))
+	}
+	for i := range table {
+		e, w := extracted[i], table[i]
+		if e.Op != w.Op {
+			t.Fatalf("layer %d op %s != %s", i, e.Op, w.Op)
+		}
+		if e.MACs() != w.MACs() {
+			t.Fatalf("layer %d (%s) MACs %d != %d", i, w.Name, e.MACs(), w.MACs())
+		}
+	}
+}
+
+func TestAlexNetMiniLayersShape(t *testing.T) {
+	layers := AlexNetMiniLayers()
+	if len(layers) != 8 {
+		t.Fatalf("mini AlexNet has %d layers, want 8", len(layers))
+	}
+	full := AlexNetLayers()
+	for i := range layers {
+		if layers[i].Op != full[i].Op {
+			t.Fatalf("mini layer %d op mismatch", i)
+		}
+		if layers[i].MACs() >= full[i].MACs() {
+			t.Fatalf("mini layer %d must be smaller than full", i)
+		}
+	}
+	// Kernel geometry preserved.
+	for i := 0; i < 5; i++ {
+		if layers[i].Conv.R != full[i].Conv.R || layers[i].Conv.StrideH != full[i].Conv.StrideH {
+			t.Fatalf("mini conv%d must keep kernel size and stride", i+1)
+		}
+	}
+}
+
+func TestLeNet5Runs(t *testing.T) {
+	g := LeNet5(1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ex := &graph.Executor{Graph: g}
+	outs, err := ex.Run(map[string]*tensor.Tensor{"data": tensor.RandomUniform(1, 1, 1, 1, 28, 28)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(outs[0].Shape(), []int{1, 10}) {
+		t.Fatalf("LeNet output = %v", outs[0].Shape())
+	}
+}
+
+func TestMLPRuns(t *testing.T) {
+	g := MLP(1, 16, 32, 4)
+	ex := &graph.Executor{Graph: g}
+	outs, err := ex.Run(map[string]*tensor.Tensor{"data": tensor.RandomUniform(1, 1, 1, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(outs[0].Shape(), []int{1, 4}) {
+		t.Fatalf("MLP output = %v", outs[0].Shape())
+	}
+}
+
+func TestTinyCNNRuns(t *testing.T) {
+	g := TinyCNN(1)
+	ex := &graph.Executor{Graph: g}
+	outs, err := ex.Run(map[string]*tensor.Tensor{"data": tensor.RandomUniform(1, 1, 1, 2, 10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(outs[0].Shape(), []int{1, 8}) {
+		t.Fatalf("TinyCNN output = %v", outs[0].Shape())
+	}
+}
+
+func TestExtractLayersLeNet(t *testing.T) {
+	layers, err := ExtractLayers(LeNet5(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 convs + 3 dense.
+	convs, denses := 0, 0
+	for _, l := range layers {
+		switch l.Op {
+		case graph.OpConv2D:
+			convs++
+		case graph.OpDense:
+			denses++
+		}
+	}
+	if convs != 2 || denses != 3 {
+		t.Fatalf("LeNet layers: %d convs, %d denses", convs, denses)
+	}
+}
+
+func TestLayerSpecString(t *testing.T) {
+	layers := AlexNetLayers()
+	if s := layers[0].String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	if s := layers[5].String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestWeightsDeterministicPerSeed(t *testing.T) {
+	a, b := AlexNet(5), AlexNet(5)
+	var wa, wb *tensor.Tensor
+	for _, n := range a.Nodes() {
+		if n.Name == "conv1.weight" {
+			wa = n.Value
+		}
+	}
+	for _, n := range b.Nodes() {
+		if n.Name == "conv1.weight" {
+			wb = n.Value
+		}
+	}
+	if wa == nil || wb == nil {
+		t.Fatal("conv1.weight not found")
+	}
+	if tensor.MaxAbsDiff(wa, wb) != 0 {
+		t.Fatal("same seed must give identical weights")
+	}
+}
+
+func TestMiniResNetRuns(t *testing.T) {
+	g := MiniResNet(1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ex := &graph.Executor{Graph: g}
+	outs, err := ex.Run(map[string]*tensor.Tensor{"data": tensor.RandomUniform(1, 1, 1, 8, 16, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(outs[0].Shape(), []int{1, 10}) {
+		t.Fatalf("MiniResNet output = %v", outs[0].Shape())
+	}
+}

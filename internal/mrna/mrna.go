@@ -1,0 +1,264 @@
+// Package mrna reimplements the role of the mRNA mapping tool (Zhao et al.,
+// ISPASS 2019): a specialised, architecture-aware mapper for MAERI that
+// produces efficient dataflow mappings analytically, without running a
+// simulation — "mRNA uses domain knowledge about MAERI to generate an
+// efficient dataflow mapping, while AutoTVM optimizes the dataflow purely
+// based on metrics from iterative simulations ... mRNA is more efficient
+// taking minutes rather than hours" (§VIII-B).
+//
+// The domain knowledge encoded here is MAERI's cost structure: virtual
+// neurons of size T_R·T_S·T_C reduce spatially in the ART, replicated VNs
+// share weights and inputs by multicast, the distribution network delivers
+// dn_bw distinct values per cycle, and the reduction network drains rn_bw
+// psums per cycle. The mapper enumerates a pruned candidate set and ranks
+// it with a closed-form cycle estimate matching the simulator's cost
+// accounting (full-tile approximation).
+package mrna
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/mapping"
+	"repro/internal/tensor"
+)
+
+// Goal selects the optimisation objective. mRNA in the paper optimises
+// total cycle count; utilisation is provided for exploration.
+type Goal int
+
+// Optimisation goals.
+const (
+	MinimizeCycles Goal = iota
+	MaximizeUtilization
+)
+
+// Mapper generates mappings for one hardware configuration.
+type Mapper struct {
+	cfg  config.HWConfig
+	goal Goal
+}
+
+// NewMapper validates the configuration (must be MAERI) and returns a
+// mapper.
+func NewMapper(cfg config.HWConfig, goal Goal) (*Mapper, error) {
+	cfg = cfg.Normalize()
+	if cfg.Controller != config.MAERIDenseWorkload {
+		return nil, fmt.Errorf("mrna: mRNA only targets MAERI, got %s", cfg.Controller)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mapper{cfg: cfg, goal: goal}, nil
+}
+
+func ceilDiv(a, b int) int64 { return int64((a + b - 1) / b) }
+
+func span(outTile, filterTile, stride int) int {
+	if stride >= filterTile {
+		return outTile * filterTile
+	}
+	return (outTile-1)*stride + filterTile
+}
+
+// EstimateConvCycles is the analytical cost model for a conv mapping: the
+// same per-step accounting the simulator performs, under a full-tile
+// approximation (edge tiles assumed full). It is exact when every tile
+// divides its dimension.
+func (m *Mapper) EstimateConvCycles(d tensor.ConvDims, t mapping.ConvMapping) (int64, error) {
+	if err := t.Validate(d, m.cfg.MSSize); err != nil {
+		return 0, err
+	}
+	dn, rn := int64(m.cfg.DNBandwidth), int64(m.cfg.RNBandwidth)
+	vn := int64(t.VNSize())
+	nv := int64(t.NumVNs())
+
+	redTiles := ceilDiv(d.C/d.G, t.TC) * ceilDiv(d.R, t.TR) * ceilDiv(d.S, t.TS)
+	kgTiles := ceilDiv(d.G, t.TG) * ceilDiv(d.N, t.TN) * ceilDiv(d.K/d.G, t.TK)
+	weightCyclesPer := (vn*int64(t.TK)*int64(t.TG) + dn - 1) / dn
+
+	stepsPerWT := ceilDiv(d.P(), t.TX) * ceilDiv(d.Q(), t.TY)
+	inputs := int64(t.TN*t.TG*t.TC) * int64(span(t.TX, t.TR, d.StrideH)) * int64(span(t.TY, t.TS, d.StrideW))
+
+	// First reduction tile: fresh outputs, no read-back. Remaining tiles
+	// accumulate: with the buffer the collection bus carries a
+	// read-modify-write per VN; without it the partial recirculates through
+	// the distribution network.
+	inFirst := (inputs + dn - 1) / dn
+	drainFirst := (nv + rn - 1) / rn
+	perStepFirst := max(inFirst, drainFirst, 1)
+	inAcc, drainAcc := inFirst, drainFirst
+	if m.cfg.AccumBuffer {
+		drainAcc = (2*nv + rn - 1) / rn
+	} else {
+		inAcc = (inputs + nv + dn - 1) / dn
+	}
+	perStepAcc := max(inAcc, drainAcc, 1)
+	perTileGroup := redTiles*weightCyclesPer + stepsPerWT*(perStepFirst+(redTiles-1)*perStepAcc)
+	return kgTiles*perTileGroup + 8, nil
+}
+
+// EstimateFCCycles is the analytical cost model for an FC mapping: weights
+// are single-use, so the T_S×T_K weight tile streams alongside the T_K
+// inputs every step.
+func (m *Mapper) EstimateFCCycles(batches, inNeurons, outNeurons int, t mapping.FCMapping) (int64, error) {
+	if err := t.Validate(batches, inNeurons, outNeurons, m.cfg.MSSize); err != nil {
+		return 0, err
+	}
+	dn, rn := int64(m.cfg.DNBandwidth), int64(m.cfg.RNBandwidth)
+	nv := int64(t.TS * t.TN)
+	elems := int64(t.TS*t.TK + t.TN*t.TK)
+	redTiles := ceilDiv(inNeurons, t.TK)
+	sTiles := ceilDiv(outNeurons, t.TS) * ceilDiv(batches, t.TN)
+
+	inFirst := (elems + dn - 1) / dn
+	drainFirst := (nv + rn - 1) / rn
+	perStepFirst := max(inFirst, drainFirst, 1)
+	inAcc, drainAcc := inFirst, drainFirst
+	if m.cfg.AccumBuffer {
+		drainAcc = (2*nv + rn - 1) / rn
+	} else {
+		inAcc = (elems + nv + dn - 1) / dn
+	}
+	perStepAcc := max(inAcc, drainAcc, 1)
+	return sTiles*(perStepFirst+(redTiles-1)*perStepAcc) + 8, nil
+}
+
+// convCandidates enumerates a pruned tile set: full-or-unit filter tiles
+// (mRNA maps whole filter rows/columns onto the ART), divisor/power-of-two
+// channel and output tiles, bounded output-plane tiles.
+func convCandidates(d tensor.ConvDims, msSize int) []mapping.ConvMapping {
+	trOpts := uniqueInts([]int{1, d.R})
+	tsOpts := uniqueInts([]int{1, d.S})
+	tcOpts := divisorPow2(d.C/d.G, msSize)
+	tkOpts := divisorPow2(d.K/d.G, msSize)
+	tgOpts := []int{1}
+	if d.G > 1 {
+		tgOpts = divisorPow2(d.G, msSize)
+	}
+	txOpts := divisorPow2(d.P(), 16)
+	tyOpts := divisorPow2(d.Q(), 16)
+	var out []mapping.ConvMapping
+	for _, tr := range trOpts {
+		for _, ts := range tsOpts {
+			for _, tc := range tcOpts {
+				for _, tk := range tkOpts {
+					for _, tg := range tgOpts {
+						for _, tx := range txOpts {
+							for _, ty := range tyOpts {
+								m := mapping.ConvMapping{TR: tr, TS: ts, TC: tc, TK: tk, TG: tg, TN: 1, TX: tx, TY: ty}
+								if m.Multipliers() <= msSize {
+									out = append(out, m)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func uniqueInts(in []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range in {
+		if v >= 1 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// divisorPow2 returns the divisors of dim and the powers of two, capped.
+func divisorPow2(dim, cap int) []int {
+	if cap > dim {
+		cap = dim
+	}
+	set := map[int]bool{1: true}
+	for v := 1; v*v <= dim; v++ {
+		if dim%v == 0 {
+			if v <= cap {
+				set[v] = true
+			}
+			if dim/v <= cap {
+				set[dim/v] = true
+			}
+		}
+	}
+	for v := 2; v <= cap; v *= 2 {
+		set[v] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MapConv returns mRNA's mapping for a convolution, with the predicted
+// cycle count.
+func (m *Mapper) MapConv(d tensor.ConvDims) (mapping.ConvMapping, int64, error) {
+	if err := d.Resolve(); err != nil {
+		return mapping.ConvMapping{}, 0, err
+	}
+	best := mapping.Basic()
+	bestCost := int64(-1)
+	var bestUtil float64 = -1
+	for _, cand := range convCandidates(d, m.cfg.MSSize) {
+		cycles, err := m.EstimateConvCycles(d, cand)
+		if err != nil {
+			continue
+		}
+		switch m.goal {
+		case MinimizeCycles:
+			if bestCost < 0 || cycles < bestCost || (cycles == bestCost && cand.Multipliers() > best.Multipliers()) {
+				best, bestCost = cand, cycles
+			}
+		case MaximizeUtilization:
+			util := float64(d.MACs()) / (float64(cycles) * float64(m.cfg.MSSize))
+			if util > bestUtil {
+				best, bestUtil, bestCost = cand, util, cycles
+			}
+		}
+	}
+	if bestCost < 0 {
+		return mapping.ConvMapping{}, 0, fmt.Errorf("mrna: no feasible conv mapping for %d multipliers", m.cfg.MSSize)
+	}
+	return best, bestCost, nil
+}
+
+// MapFC returns mRNA's mapping for a fully connected layer, with the
+// predicted cycle count. It exhaustively scores all T_S×T_K combinations
+// that fit the array — cheap because the model is closed-form, which is
+// exactly why "mRNA is more efficient, taking minutes rather than hours".
+func (m *Mapper) MapFC(batches, inNeurons, outNeurons int) (mapping.FCMapping, int64, error) {
+	if batches < 1 || inNeurons < 1 || outNeurons < 1 {
+		return mapping.FCMapping{}, 0, fmt.Errorf("mrna: invalid dense geometry %d×%d→%d", batches, inNeurons, outNeurons)
+	}
+	best := mapping.BasicFC()
+	bestCost := int64(-1)
+	maxTS := min(m.cfg.MSSize, outNeurons)
+	for ts := 1; ts <= maxTS; ts++ {
+		maxTK := min(m.cfg.MSSize/ts, inNeurons)
+		for tk := 1; tk <= maxTK; tk++ {
+			cand := mapping.FCMapping{TS: ts, TK: tk, TN: 1}
+			cycles, err := m.EstimateFCCycles(batches, inNeurons, outNeurons, cand)
+			if err != nil {
+				continue
+			}
+			if bestCost < 0 || cycles < bestCost || (cycles == bestCost && cand.Multipliers() > best.Multipliers()) {
+				best, bestCost = cand, cycles
+			}
+		}
+	}
+	if bestCost < 0 {
+		return mapping.FCMapping{}, 0, fmt.Errorf("mrna: no feasible FC mapping for %d multipliers", m.cfg.MSSize)
+	}
+	return best, bestCost, nil
+}

@@ -1,0 +1,216 @@
+package mrna
+
+import (
+	"testing"
+
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/maeri"
+	"repro/internal/stonne/mapping"
+	"repro/internal/tensor"
+)
+
+func newMapper(t *testing.T) *Mapper {
+	t.Helper()
+	m, err := NewMapper(config.Default(config.MAERIDenseWorkload), MinimizeCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMapperRejectsNonMAERI(t *testing.T) {
+	if _, err := NewMapper(config.Default(config.SIGMASparseGEMM), MinimizeCycles); err == nil {
+		t.Fatal("SIGMA must be rejected: mRNA is MAERI-specific")
+	}
+	bad := config.Default(config.MAERIDenseWorkload)
+	bad.MSSize = 9
+	if _, err := NewMapper(bad, MinimizeCycles); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+}
+
+func TestMapFCUsesSpatialReduction(t *testing.T) {
+	m := newMapper(t)
+	// AlexNet FC layers (Table VI): mRNA mappings vary per layer and always
+	// use T_K > 1 (spatial reduction), unlike the psum-tuned AutoTVM ones.
+	for _, layer := range []struct{ k, s int }{{9216, 4096}, {4096, 4096}, {4096, 1000}} {
+		fc, cycles, err := m.MapFC(1, layer.k, layer.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc.TK <= 1 {
+			t.Fatalf("K=%d: mRNA should use spatial reduction, got %s", layer.k, fc)
+		}
+		if fc.TS <= 1 {
+			t.Fatalf("K=%d: mRNA should parallelise output neurons, got %s", layer.k, fc)
+		}
+		if fc.Multipliers() > 128 {
+			t.Fatalf("mapping %s exceeds the array", fc)
+		}
+		if cycles <= 0 {
+			t.Fatal("no cycle estimate")
+		}
+	}
+}
+
+func TestMapFCBeatsAutoTVMStyleMapping(t *testing.T) {
+	// The Figure 12b claim: the mRNA mapping needs far fewer cycles than the
+	// psum-tuned (T_S=20, T_K=1) mapping — the paper reports 67% fewer.
+	m := newMapper(t)
+	cfg := config.Default(config.MAERIDenseWorkload)
+	eng, err := maeri.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.DryRun = true
+	in := tensor.New(1, 1024)
+	w := tensor.New(512, 1024)
+	fc, _, err := m.MapFC(1, 1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mrnaStats, err := eng.Dense(in, w, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, autotvmStats, err := eng.Dense(in, w, mapping.FCMapping{TS: 20, TK: 1, TN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(mrnaStats.Cycles) / float64(autotvmStats.Cycles)
+	if ratio > 0.7 {
+		t.Fatalf("mRNA/AutoTVM cycle ratio = %.2f, want well below 1 (paper: ≈0.33)", ratio)
+	}
+}
+
+func TestEstimateFCCyclesTracksSimulation(t *testing.T) {
+	// The analytical model must rank mappings like the simulator does and be
+	// exact for divisor tiles.
+	m := newMapper(t)
+	cfg := config.Default(config.MAERIDenseWorkload)
+	eng, err := maeri.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.DryRun = true
+	in := tensor.New(1, 256)
+	w := tensor.New(128, 256)
+	for _, fc := range []mapping.FCMapping{
+		{TS: 16, TK: 8, TN: 1},
+		{TS: 8, TK: 16, TN: 1},
+		{TS: 4, TK: 4, TN: 1},
+		{TS: 20, TK: 1, TN: 1},
+	} {
+		est, err := m.EstimateFCCycles(1, 256, 128, fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := eng.Dense(in, w, fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(est) / float64(st.Cycles)
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("mapping %s: estimate %d vs simulated %d (ratio %.2f)", fc, est, st.Cycles, ratio)
+		}
+	}
+}
+
+func TestMapConvBeatsBasic(t *testing.T) {
+	m := newMapper(t)
+	d := tensor.ConvDims{N: 1, C: 16, H: 16, W: 16, K: 32, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	conv, est, err := m.MapConv(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Multipliers() > 128 {
+		t.Fatalf("mapping %s exceeds the array", conv)
+	}
+	cfg := config.Default(config.MAERIDenseWorkload)
+	eng, err := maeri.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.DryRun = true
+	_, mrnaStats, err := eng.Conv2D(nil, nil, d, conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, basicStats, err := eng.Conv2D(nil, nil, d, mapping.Basic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrnaStats.Cycles*10 > basicStats.Cycles {
+		t.Fatalf("mRNA conv mapping (%d cycles) should be ≥10× faster than basic (%d)", mrnaStats.Cycles, basicStats.Cycles)
+	}
+	// Estimate must be in the simulator's ballpark.
+	ratio := float64(est) / float64(mrnaStats.Cycles)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("conv estimate %d vs simulated %d (ratio %.2f)", est, mrnaStats.Cycles, ratio)
+	}
+}
+
+func TestMapConvGrouped(t *testing.T) {
+	m := newMapper(t)
+	d := tensor.ConvDims{N: 1, C: 8, H: 13, W: 13, K: 16, R: 3, S: 3, G: 2, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	conv, _, err := m.MapConv(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conv.Validate(d, 128); err != nil {
+		t.Fatalf("mRNA produced an invalid mapping: %v", err)
+	}
+}
+
+func TestMapConvSmallArray(t *testing.T) {
+	cfg := config.Default(config.MAERIDenseWorkload)
+	cfg.MSSize = 8
+	m, err := NewMapper(cfg, MinimizeCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tensor.ConvDims{N: 1, C: 2, H: 10, W: 10, K: 4, R: 3, S: 3}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	conv, _, err := m.MapConv(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Multipliers() > 8 {
+		t.Fatalf("mapping %s exceeds an 8-multiplier array", conv)
+	}
+}
+
+func TestUtilizationGoal(t *testing.T) {
+	cfg := config.Default(config.MAERIDenseWorkload)
+	m, err := NewMapper(cfg, MaximizeUtilization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tensor.ConvDims{N: 1, C: 16, H: 16, W: 16, K: 32, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	conv, _, err := m.MapConv(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A utilisation-optimal mapping should occupy a large part of the array.
+	if conv.Multipliers() < 64 {
+		t.Fatalf("utilisation goal picked only %d multipliers", conv.Multipliers())
+	}
+}
+
+func TestMapFCValidation(t *testing.T) {
+	m := newMapper(t)
+	if _, _, err := m.MapFC(0, 10, 10); err == nil {
+		t.Fatal("invalid geometry must be rejected")
+	}
+}

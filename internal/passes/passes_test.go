@@ -1,0 +1,182 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// bnGraph builds input → conv → (optional bias_add) → batch_norm → relu.
+func bnGraph(withBias bool) (*graph.Graph, *tensor.Tensor) {
+	g := graph.New("bn")
+	x := g.Input("data", 1, 2, 6, 6)
+	w := g.Constant("w", tensor.RandomNormal(1, 0.5, 3, 2, 3, 3))
+	y := g.Conv2D("conv", x, w, graph.Attrs{PadH: 1, PadW: 1})
+	if withBias {
+		b := g.Constant("b", tensor.RandomNormal(2, 0.5, 3))
+		y = g.BiasAdd("bias", y, b)
+	}
+	gamma := g.Constant("gamma", tensor.RandomUniform(3, 0.5, 3))
+	for i, v := range gamma.Value.Data() {
+		gamma.Value.Data()[i] = v + 1 // keep scale away from zero
+	}
+	beta := g.Constant("beta", tensor.RandomNormal(4, 0.5, 3))
+	mean := g.Constant("mean", tensor.RandomNormal(5, 0.5, 3))
+	variance := g.Constant("var", tensor.RandomUniform(6, 0.5, 3))
+	for i, v := range variance.Value.Data() {
+		variance.Value.Data()[i] = v*v + 0.5 // positive variance
+	}
+	y = g.BatchNorm("bn", y, gamma, beta, mean, variance, 1e-5)
+	y = g.ReLU("relu", y)
+	g.MarkOutput(y)
+	in := tensor.RandomUniform(9, 1, 1, 2, 6, 6)
+	return g, in
+}
+
+func runGraph(t *testing.T, g *graph.Graph, in *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	ex := &graph.Executor{Graph: g}
+	outs, err := ex.Run(map[string]*tensor.Tensor{"data": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs[0]
+}
+
+func TestFoldBatchNormPreservesSemantics(t *testing.T) {
+	for _, withBias := range []bool{false, true} {
+		g, in := bnGraph(withBias)
+		want := runGraph(t, g, in)
+		n, err := FoldBatchNorm(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("folded %d batch_norms, want 1 (withBias=%v)", n, withBias)
+		}
+		got := runGraph(t, g, in)
+		if !tensor.AllClose(want, got, 1e-4) {
+			t.Fatalf("folding changed semantics (withBias=%v): max diff %v", withBias, tensor.MaxAbsDiff(want, got))
+		}
+		// The folded graph must no longer execute a batch_norm node.
+		for _, n := range g.Nodes() {
+			if n.Op == graph.OpBatchNorm {
+				// Node may remain in the list but must be unreachable.
+				EliminateDead(g)
+			}
+		}
+		EliminateDead(g)
+		for _, n := range g.Nodes() {
+			if n.Op == graph.OpBatchNorm {
+				t.Fatal("batch_norm still reachable after fold + DCE")
+			}
+		}
+	}
+}
+
+func TestFoldBatchNormSkipsNonConstParams(t *testing.T) {
+	g := graph.New("bad")
+	x := g.Input("data", 1, 2, 4, 4)
+	w := g.Constant("w", tensor.RandomNormal(1, 0.5, 2, 2, 3, 3))
+	y := g.Conv2D("conv", x, w, graph.Attrs{PadH: 1, PadW: 1})
+	p := g.Input("gamma", 2) // non-constant parameter
+	beta := g.Constant("beta", tensor.New(2))
+	mean := g.Constant("mean", tensor.New(2))
+	variance := g.Constant("var", tensor.FromData([]float32{1, 1}, 2))
+	y = g.BatchNorm("bn", y, p, beta, mean, variance, 1e-5)
+	g.MarkOutput(y)
+	if _, err := FoldBatchNorm(g); err == nil {
+		t.Fatal("non-constant batch_norm parameters must be reported")
+	}
+}
+
+func TestFoldBatchNormNoPattern(t *testing.T) {
+	g := graph.New("none")
+	x := g.Input("data", 1, 2, 4, 4)
+	p := func(name string) *graph.Node { return g.Constant(name, tensor.FromData([]float32{1, 1}, 2)) }
+	y := g.BatchNorm("bn", x, p("g"), p("b"), p("m"), p("v"), 1e-5) // BN not after conv
+	g.MarkOutput(y)
+	n, err := FoldBatchNorm(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("folded %d, want 0", n)
+	}
+}
+
+func TestAnnotateFusion(t *testing.T) {
+	g := graph.New("fuse")
+	x := g.Input("data", 1, 2, 6, 6)
+	w := g.Constant("w", tensor.RandomNormal(1, 0.5, 3, 2, 3, 3))
+	conv := g.Conv2D("conv", x, w, graph.Attrs{})
+	b := g.Constant("b", tensor.New(3))
+	y := g.BiasAdd("bias", conv, b)
+	y = g.ReLU("relu", y)
+	fw := g.Constant("fw", tensor.RandomNormal(2, 0.5, 4, 48))
+	fc := g.Dense("fc", g.Flatten("flat", y), fw)
+	out := g.Tanh("tanh", fc)
+	g.MarkOutput(out)
+	n := AnnotateFusion(g)
+	if n != 2 {
+		t.Fatalf("annotated %d, want 2", n)
+	}
+	if conv.FusedActivation != graph.OpReLU {
+		t.Fatalf("conv fused activation = %q", conv.FusedActivation)
+	}
+	if fc.FusedActivation != graph.OpTanh {
+		t.Fatalf("dense fused activation = %q", fc.FusedActivation)
+	}
+}
+
+func TestAnnotateFusionMultiUserNotFused(t *testing.T) {
+	g := graph.New("branch")
+	x := g.Input("data", 1, 4)
+	w := g.Constant("w", tensor.RandomNormal(1, 0.5, 4, 4))
+	fc := g.Dense("fc", x, w)
+	a := g.ReLU("relu", fc)
+	b := g.Tanh("tanh", fc) // second user: fc must not be fused
+	g.MarkOutput(g.Add("add", a, b))
+	if n := AnnotateFusion(g); n != 0 {
+		t.Fatalf("annotated %d, want 0", n)
+	}
+}
+
+func TestEliminateDead(t *testing.T) {
+	g := graph.New("dead")
+	x := g.Input("data", 1, 4)
+	w := g.Constant("w", tensor.RandomNormal(1, 0.5, 4, 4))
+	live := g.Dense("fc", x, w)
+	g.ReLU("orphan", live) // dead: never an output
+	g.Constant("unused", tensor.New(3))
+	g.MarkOutput(live)
+	removed := EliminateDead(g)
+	if removed != 2 {
+		t.Fatalf("removed %d nodes, want 2", removed)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("graph has %d nodes, want 3", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardPipeline(t *testing.T) {
+	g, in := bnGraph(true)
+	want := runGraph(t, g, in)
+	if err := Standard(g); err != nil {
+		t.Fatal(err)
+	}
+	got := runGraph(t, g, in)
+	if !tensor.AllClose(want, got, 1e-4) {
+		t.Fatal("standard pipeline changed semantics")
+	}
+	// conv must now be annotated with the trailing ReLU.
+	for _, n := range g.Nodes() {
+		if n.Op == graph.OpConv2D && n.FusedActivation != graph.OpReLU {
+			t.Fatal("conv should carry fused ReLU annotation after Standard pipeline")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package config models STONNE's hardware configuration unit. It defines
+// every option in Table III of the Bifrost paper together with the validity
+// rules that Bifrost's simulator configurator enforces ("Bifrost eliminates
+// undefined behavior from occurring in STONNE by preventing developers from
+// providing invalid hardware configurations", §VI).
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ControllerType selects the simulated accelerator architecture.
+type ControllerType string
+
+// Architectures available in STONNE and exposed through Bifrost.
+const (
+	MAERIDenseWorkload ControllerType = "MAERI_DENSE_WORKLOAD"
+	SIGMASparseGEMM    ControllerType = "SIGMA_SPARSE_GEMM"
+	TPUOSDense         ControllerType = "TPU_OS_DENSE"
+)
+
+// NetworkType selects the multiplier-switch network organisation.
+type NetworkType string
+
+// Multiplier network organisations.
+const (
+	Linear NetworkType = "LINEAR"  // MAERI and SIGMA: a linear array of multiplier switches
+	OSMesh NetworkType = "OS_MESH" // TPU: a grid with a weight-stationary dataflow
+)
+
+// ReduceNetworkType selects the reduction network implementation.
+type ReduceNetworkType string
+
+// Reduction networks.
+const (
+	ASNetwork  ReduceNetworkType = "ASNETWORK"  // MAERI's ART (augmented reduction tree)
+	FENetwork  ReduceNetworkType = "FENETWORK"  // the STIFT fold-enabled network
+	TemporalRN ReduceNetworkType = "TEMPORALRN" // TPU's temporal reduction
+)
+
+// HWConfig is a complete hardware configuration for a simulated accelerator,
+// mirroring Table III.
+type HWConfig struct {
+	Controller    ControllerType
+	MSNetwork     NetworkType
+	MSSize        int // multipliers for LINEAR networks (power of two, ≥ 8)
+	MSRows        int // mesh rows for OS_MESH (power of two)
+	MSCols        int // mesh columns for OS_MESH (power of two)
+	DNBandwidth   int // distribution network elements/cycle (power of two)
+	RNBandwidth   int // reduction network elements/cycle (power of two)
+	ReduceNetwork ReduceNetworkType
+	SparsityRatio int  // percent in [0,100]; SIGMA only
+	AccumBuffer   bool // accumulation buffer present
+}
+
+// Default returns the baseline configuration the paper evaluates: a
+// 128-multiplier accelerator with 64-wide distribution and reduction
+// networks and an accumulation buffer.
+func Default(ct ControllerType) HWConfig {
+	c := HWConfig{
+		Controller:    ct,
+		MSNetwork:     Linear,
+		MSSize:        128,
+		DNBandwidth:   64,
+		RNBandwidth:   64,
+		ReduceNetwork: ASNetwork,
+		AccumBuffer:   true,
+	}
+	if ct == TPUOSDense {
+		c.MSNetwork = OSMesh
+		c.MSRows, c.MSCols = 8, 8
+		c.MSSize = 0
+		c.ReduceNetwork = TemporalRN
+		c.DNBandwidth = c.MSRows + c.MSCols
+		c.RNBandwidth = c.MSRows * c.MSCols
+	}
+	return c
+}
+
+func isPow2(x int) bool { return x > 0 && bits.OnesCount(uint(x)) == 1 }
+
+// Validate enforces the Table III rules plus the per-architecture
+// constraints from §VI of the paper.
+func (c HWConfig) Validate() error {
+	switch c.Controller {
+	case MAERIDenseWorkload, SIGMASparseGEMM:
+		if c.MSNetwork != Linear {
+			return fmt.Errorf("config: %s requires ms_network_type=LINEAR, got %s", c.Controller, c.MSNetwork)
+		}
+		if c.MSSize < 8 || !isPow2(c.MSSize) {
+			return fmt.Errorf("config: ms_size must be a power of two ≥ 8, got %d", c.MSSize)
+		}
+		if c.ReduceNetwork == TemporalRN {
+			return fmt.Errorf("config: %s cannot use the TEMPORALRN reduction network", c.Controller)
+		}
+	case TPUOSDense:
+		if c.MSNetwork != OSMesh {
+			return fmt.Errorf("config: TPU_OS_DENSE requires ms_network_type=OS_MESH, got %s", c.MSNetwork)
+		}
+		if !isPow2(c.MSRows) || !isPow2(c.MSCols) {
+			return fmt.Errorf("config: ms_rows (%d) and ms_cols (%d) must be powers of two", c.MSRows, c.MSCols)
+		}
+		if c.ReduceNetwork != TemporalRN {
+			return fmt.Errorf("config: TPU_OS_DENSE requires reduce_network_type=TEMPORALRN, got %s", c.ReduceNetwork)
+		}
+		if !c.AccumBuffer {
+			return fmt.Errorf("config: the TPU's rigid dataflow requires the accumulation buffer")
+		}
+		if c.DNBandwidth != c.MSRows+c.MSCols {
+			return fmt.Errorf("config: TPU requires dn_bw = ms_rows + ms_cols = %d, got %d", c.MSRows+c.MSCols, c.DNBandwidth)
+		}
+		if c.RNBandwidth != c.MSRows*c.MSCols {
+			return fmt.Errorf("config: TPU requires rn_bw = ms_rows × ms_cols = %d, got %d", c.MSRows*c.MSCols, c.RNBandwidth)
+		}
+	default:
+		return fmt.Errorf("config: unknown controller_type %q", c.Controller)
+	}
+	if !isPow2(c.DNBandwidth) {
+		return fmt.Errorf("config: dn_bw must be a power of two, got %d", c.DNBandwidth)
+	}
+	if !isPow2(c.RNBandwidth) {
+		return fmt.Errorf("config: rn_bw must be a power of two, got %d", c.RNBandwidth)
+	}
+	switch c.ReduceNetwork {
+	case ASNetwork, FENetwork, TemporalRN:
+	default:
+		return fmt.Errorf("config: unknown reduce_network_type %q", c.ReduceNetwork)
+	}
+	if c.SparsityRatio < 0 || c.SparsityRatio > 100 {
+		return fmt.Errorf("config: sparsity_ratio must be in [0,100], got %d", c.SparsityRatio)
+	}
+	if c.SparsityRatio != 0 && c.Controller != SIGMASparseGEMM {
+		return fmt.Errorf("config: sparsity_ratio is only used by SIGMA_SPARSE_GEMM")
+	}
+	return nil
+}
+
+// Normalize returns a copy of c with the TPU's derived bandwidths corrected,
+// mirroring Bifrost's behaviour of fixing improperly configured distribution
+// and reduction networks instead of rejecting them ("Bifrost enforces the
+// TPU restriction and will correct improperly configured ... networks").
+func (c HWConfig) Normalize() HWConfig {
+	if c.Controller == TPUOSDense {
+		c.MSNetwork = OSMesh
+		c.ReduceNetwork = TemporalRN
+		c.AccumBuffer = true
+		if c.MSRows > 0 && c.MSCols > 0 {
+			c.DNBandwidth = c.MSRows + c.MSCols
+			c.RNBandwidth = c.MSRows * c.MSCols
+		}
+	}
+	return c
+}
+
+// Multipliers returns the total number of multiply-accumulate units.
+func (c HWConfig) Multipliers() int {
+	if c.MSNetwork == OSMesh {
+		return c.MSRows * c.MSCols
+	}
+	return c.MSSize
+}
+
+// WriteTo serialises the configuration in STONNE's "key=value" config-file
+// format, the artefact Bifrost generates automatically for the user
+// (architecture.create_config_file() in Listing 1).
+func (c HWConfig) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "controller_type=%s\n", c.Controller)
+	fmt.Fprintf(&b, "ms_network_type=%s\n", c.MSNetwork)
+	fmt.Fprintf(&b, "ms_size=%d\n", c.MSSize)
+	fmt.Fprintf(&b, "ms_rows=%d\n", c.MSRows)
+	fmt.Fprintf(&b, "ms_cols=%d\n", c.MSCols)
+	fmt.Fprintf(&b, "dn_bw=%d\n", c.DNBandwidth)
+	fmt.Fprintf(&b, "rn_bw=%d\n", c.RNBandwidth)
+	fmt.Fprintf(&b, "reduce_network_type=%s\n", c.ReduceNetwork)
+	fmt.Fprintf(&b, "sparsity_ratio=%d\n", c.SparsityRatio)
+	fmt.Fprintf(&b, "accumulation_buffer=%t\n", c.AccumBuffer)
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteFile writes the configuration file to disk.
+func (c HWConfig) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = c.WriteTo(f)
+	return err
+}
+
+// Read parses a configuration in the "key=value" format produced by WriteTo.
+func Read(r io.Reader) (HWConfig, error) {
+	var c HWConfig
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(text, "=")
+		if !ok {
+			return c, fmt.Errorf("config: line %d: missing '=' in %q", line, text)
+		}
+		key, value = strings.TrimSpace(key), strings.TrimSpace(value)
+		atoi := func() (int, error) {
+			v, err := strconv.Atoi(value)
+			if err != nil {
+				return 0, fmt.Errorf("config: line %d: %q is not an integer", line, value)
+			}
+			return v, nil
+		}
+		var err error
+		switch key {
+		case "controller_type":
+			c.Controller = ControllerType(value)
+		case "ms_network_type":
+			c.MSNetwork = NetworkType(value)
+		case "ms_size":
+			c.MSSize, err = atoi()
+		case "ms_rows":
+			c.MSRows, err = atoi()
+		case "ms_cols":
+			c.MSCols, err = atoi()
+		case "dn_bw":
+			c.DNBandwidth, err = atoi()
+		case "rn_bw":
+			c.RNBandwidth, err = atoi()
+		case "reduce_network_type":
+			c.ReduceNetwork = ReduceNetworkType(value)
+		case "sparsity_ratio":
+			c.SparsityRatio, err = atoi()
+		case "accumulation_buffer":
+			c.AccumBuffer, err = strconv.ParseBool(value)
+			if err != nil {
+				err = fmt.Errorf("config: line %d: %q is not a bool", line, value)
+			}
+		default:
+			err = fmt.Errorf("config: line %d: unknown key %q", line, key)
+		}
+		if err != nil {
+			return c, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// ReadFile parses a configuration file from disk.
+func ReadFile(path string) (HWConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return HWConfig{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,209 @@
+package config
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDefaultsValidate(t *testing.T) {
+	for _, ct := range []ControllerType{MAERIDenseWorkload, SIGMASparseGEMM, TPUOSDense} {
+		if err := Default(ct).Validate(); err != nil {
+			t.Fatalf("Default(%s) invalid: %v", ct, err)
+		}
+	}
+}
+
+// TestTableIIIMSSizeRule checks ms_size ∈ {x | x ≥ 8 ∧ log₂x ∈ ℤ}.
+func TestTableIIIMSSizeRule(t *testing.T) {
+	for _, ms := range []int{8, 16, 32, 64, 128, 256, 512} {
+		c := Default(MAERIDenseWorkload)
+		c.MSSize = ms
+		if err := c.Validate(); err != nil {
+			t.Fatalf("ms_size=%d should be valid: %v", ms, err)
+		}
+	}
+	for _, ms := range []int{0, 1, 4, 7, 12, 100, -8} {
+		c := Default(MAERIDenseWorkload)
+		c.MSSize = ms
+		if err := c.Validate(); err == nil {
+			t.Fatalf("ms_size=%d should be rejected", ms)
+		}
+	}
+}
+
+// TestTableIIIBandwidthRules checks dn_bw and rn_bw must be powers of two.
+func TestTableIIIBandwidthRules(t *testing.T) {
+	c := Default(MAERIDenseWorkload)
+	c.DNBandwidth = 48
+	if err := c.Validate(); err == nil {
+		t.Fatal("non-power-of-two dn_bw should be rejected")
+	}
+	c = Default(MAERIDenseWorkload)
+	c.RNBandwidth = 100
+	if err := c.Validate(); err == nil {
+		t.Fatal("non-power-of-two rn_bw should be rejected")
+	}
+}
+
+// TestTableIIISparsityRule checks sparsity_ratio ∈ [0, 100], SIGMA only.
+func TestTableIIISparsityRule(t *testing.T) {
+	c := Default(SIGMASparseGEMM)
+	for _, s := range []int{0, 50, 100} {
+		c.SparsityRatio = s
+		if err := c.Validate(); err != nil {
+			t.Fatalf("sparsity %d should be valid: %v", s, err)
+		}
+	}
+	for _, s := range []int{-1, 101} {
+		c.SparsityRatio = s
+		if err := c.Validate(); err == nil {
+			t.Fatalf("sparsity %d should be rejected", s)
+		}
+	}
+	m := Default(MAERIDenseWorkload)
+	m.SparsityRatio = 50
+	if err := m.Validate(); err == nil {
+		t.Fatal("sparsity on MAERI should be rejected")
+	}
+}
+
+func TestNetworkTypeRules(t *testing.T) {
+	c := Default(MAERIDenseWorkload)
+	c.MSNetwork = OSMesh
+	if err := c.Validate(); err == nil {
+		t.Fatal("MAERI must use LINEAR")
+	}
+	c = Default(TPUOSDense)
+	c.MSNetwork = Linear
+	if err := c.Validate(); err == nil {
+		t.Fatal("TPU must use OS_MESH")
+	}
+}
+
+func TestTPUDerivedBandwidths(t *testing.T) {
+	c := Default(TPUOSDense)
+	if c.DNBandwidth != c.MSRows+c.MSCols {
+		t.Fatalf("default TPU dn_bw = %d, want rows+cols = %d", c.DNBandwidth, c.MSRows+c.MSCols)
+	}
+	if c.RNBandwidth != c.MSRows*c.MSCols {
+		t.Fatalf("default TPU rn_bw = %d, want rows×cols = %d", c.RNBandwidth, c.MSRows*c.MSCols)
+	}
+	c.DNBandwidth = 128
+	if err := c.Validate(); err == nil {
+		t.Fatal("wrong TPU dn_bw must be rejected by Validate")
+	}
+	// Normalize corrects it instead of rejecting (the paper's "Bifrost ...
+	// will correct improperly configured distribution and reduction
+	// networks").
+	n := c.Normalize()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Normalize should fix the TPU bandwidths: %v", err)
+	}
+}
+
+func TestTPURequiresAccumBufferAndTemporalRN(t *testing.T) {
+	c := Default(TPUOSDense)
+	c.AccumBuffer = false
+	if err := c.Validate(); err == nil {
+		t.Fatal("TPU without accumulation buffer must be rejected")
+	}
+	c = Default(TPUOSDense)
+	c.ReduceNetwork = ASNetwork
+	if err := c.Validate(); err == nil {
+		t.Fatal("TPU with ASNETWORK must be rejected")
+	}
+	m := Default(MAERIDenseWorkload)
+	m.ReduceNetwork = TemporalRN
+	if err := m.Validate(); err == nil {
+		t.Fatal("MAERI with TEMPORALRN must be rejected")
+	}
+}
+
+func TestReduceNetworkOptions(t *testing.T) {
+	for _, rn := range []ReduceNetworkType{ASNetwork, FENetwork} {
+		c := Default(MAERIDenseWorkload)
+		c.ReduceNetwork = rn
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s should be valid for MAERI: %v", rn, err)
+		}
+	}
+	c := Default(MAERIDenseWorkload)
+	c.ReduceNetwork = "BOGUS"
+	if err := c.Validate(); err == nil {
+		t.Fatal("unknown reduce network must be rejected")
+	}
+}
+
+func TestUnknownController(t *testing.T) {
+	c := Default(MAERIDenseWorkload)
+	c.Controller = "EYERISS"
+	if err := c.Validate(); err == nil {
+		t.Fatal("unknown controller must be rejected")
+	}
+}
+
+func TestMultipliers(t *testing.T) {
+	if got := Default(MAERIDenseWorkload).Multipliers(); got != 128 {
+		t.Fatalf("MAERI multipliers = %d", got)
+	}
+	if got := Default(TPUOSDense).Multipliers(); got != 64 {
+		t.Fatalf("TPU multipliers = %d", got)
+	}
+}
+
+func TestConfigFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arch.cfg")
+	c := Default(SIGMASparseGEMM)
+	c.SparsityRatio = 50
+	c.MSSize = 256
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestReadParsing(t *testing.T) {
+	src := `
+# comment line
+controller_type=MAERI_DENSE_WORKLOAD
+ms_network_type = LINEAR
+ms_size= 64
+
+dn_bw =16
+rn_bw=16
+reduce_network_type=FENETWORK
+sparsity_ratio=0
+accumulation_buffer=true
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MSSize != 64 || c.ReduceNetwork != FENetwork || !c.AccumBuffer {
+		t.Fatalf("parsed %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for label, src := range map[string]string{
+		"no equals":   "ms_size 64\n",
+		"bad int":     "ms_size=sixty-four\n",
+		"bad bool":    "accumulation_buffer=si\n",
+		"unknown key": "frequency=2GHz\n",
+	} {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: expected parse error", label)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package energy implements the energy/EDP extension the paper leaves as
+// future work: "The STONNE project is integrating power and area metrics,
+// which Bifrost will support when they are available" (§I) and "we would
+// like to extend Bifrost to support AutoTVM tuning using other optimization
+// targets such as energy efficiency" (§IX).
+//
+// The model is event-based: every counter the simulator already reports
+// (MACs, distribution-network elements, spatial psums, accumulation-buffer
+// accesses) is weighted by a per-event energy. The default coefficients
+// follow the relative magnitudes commonly used for 45 nm accelerator
+// estimates (Horowitz, ISSCC 2014): a 32-bit multiply-add ≈ 4× an on-chip
+// network hop ≈ 1/6 of an SRAM access. Absolute joules are not meaningful
+// for a simulated design; ratios between configurations are.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/stonne/stats"
+)
+
+// Model holds per-event energies in picojoules.
+type Model struct {
+	MACpJ        float64 // one multiply-accumulate
+	DNElementpJ  float64 // one scalar through the distribution network
+	RNAddpJ      float64 // one adder firing in the reduction network
+	AccumRWpJ    float64 // one accumulation-buffer read or write
+	SRAMElempJ   float64 // one global-buffer element read/written
+	StaticPerCyc float64 // leakage per cycle for the whole array
+}
+
+// Default45nm returns the default coefficient set.
+func Default45nm() Model {
+	return Model{
+		MACpJ:        3.1,  // 32-bit int MAC ≈ 3.1 pJ
+		DNElementpJ:  0.8,  // on-chip tree hop burst
+		RNAddpJ:      0.9,  // adder switch firing
+		AccumRWpJ:    1.2,  // small SRAM access
+		SRAMElempJ:   6.0,  // global buffer access
+		StaticPerCyc: 0.45, // leakage
+	}
+}
+
+// Breakdown is the per-component energy of one layer execution.
+type Breakdown struct {
+	ComputePJ      float64
+	DistributionPJ float64
+	ReductionPJ    float64
+	AccumBufferPJ  float64
+	GlobalBufferPJ float64
+	StaticPJ       float64
+}
+
+// TotalPJ returns the summed energy in picojoules.
+func (b Breakdown) TotalPJ() float64 {
+	return b.ComputePJ + b.DistributionPJ + b.ReductionPJ + b.AccumBufferPJ + b.GlobalBufferPJ + b.StaticPJ
+}
+
+// String renders the breakdown in nanojoules.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%.1fnJ (compute=%.1f dn=%.1f rn=%.1f accum=%.1f sram=%.1f static=%.1f)",
+		b.TotalPJ()/1e3, b.ComputePJ/1e3, b.DistributionPJ/1e3, b.ReductionPJ/1e3,
+		b.AccumBufferPJ/1e3, b.GlobalBufferPJ/1e3, b.StaticPJ/1e3)
+}
+
+// Estimate converts a simulation's counters into an energy breakdown.
+func (m Model) Estimate(s stats.Stats) Breakdown {
+	return Breakdown{
+		ComputePJ:      m.MACpJ * float64(s.MACs),
+		DistributionPJ: m.DNElementpJ * float64(s.DNElements),
+		ReductionPJ:    m.RNAddpJ * float64(s.SpatialPsums),
+		AccumBufferPJ:  m.AccumRWpJ * 2 * float64(s.AccumWrites),
+		GlobalBufferPJ: m.SRAMElempJ * (float64(s.InputLoads) + float64(s.WeightLoads) + float64(s.Outputs)),
+		StaticPJ:       m.StaticPerCyc * float64(s.Cycles) * float64(s.Multipliers) / 128,
+	}
+}
+
+// EDP returns the energy-delay product (pJ × cycles), the standard combined
+// efficiency metric for accelerator design points.
+func (m Model) EDP(s stats.Stats) float64 {
+	return m.Estimate(s).TotalPJ() * float64(s.Cycles)
+}

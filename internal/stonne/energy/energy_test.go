@@ -1,0 +1,87 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/maeri"
+	"repro/internal/stonne/mapping"
+	"repro/internal/stonne/stats"
+	"repro/internal/tensor"
+)
+
+func TestEstimateBreakdown(t *testing.T) {
+	m := Default45nm()
+	s := stats.Stats{MACs: 1000, DNElements: 500, SpatialPsums: 300, AccumWrites: 100, InputLoads: 200, WeightLoads: 100, Outputs: 50, Cycles: 64, Multipliers: 128}
+	b := m.Estimate(s)
+	if b.ComputePJ != 3100 {
+		t.Fatalf("compute = %v", b.ComputePJ)
+	}
+	if b.TotalPJ() <= b.ComputePJ {
+		t.Fatal("total must include all components")
+	}
+	if !strings.Contains(b.String(), "total=") {
+		t.Fatal("breakdown must render")
+	}
+}
+
+func TestZeroStatsZeroEnergy(t *testing.T) {
+	if got := Default45nm().Estimate(stats.Stats{}).TotalPJ(); got != 0 {
+		t.Fatalf("zero stats energy = %v", got)
+	}
+}
+
+func TestEDPOrdersDesignPoints(t *testing.T) {
+	m := Default45nm()
+	fast := stats.Stats{MACs: 1000, Cycles: 10, Multipliers: 128}
+	slow := stats.Stats{MACs: 1000, Cycles: 1000, Multipliers: 128}
+	if m.EDP(fast) >= m.EDP(slow) {
+		t.Fatal("same work in fewer cycles must have lower EDP")
+	}
+}
+
+func TestSpatialReductionSavesReductionEnergyButCostsAdds(t *testing.T) {
+	// Physical sanity on real simulations: a full-VN mapping does all its
+	// accumulation in the tree (high RN energy, few accum-buffer accesses);
+	// a VN=1 mapping does the opposite.
+	cfg := config.Default(config.MAERIDenseWorkload)
+	eng, err := maeri.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.DryRun = true
+	d := tensor.ConvDims{N: 1, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	_, fullVN, err := eng.Conv2D(nil, nil, d, mapping.ConvMapping{TR: 3, TS: 3, TC: 8, TK: 1, TG: 1, TN: 1, TX: 1, TY: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, unitVN, err := eng.Conv2D(nil, nil, d, mapping.ConvMapping{TR: 1, TS: 1, TC: 1, TK: 8, TG: 1, TN: 1, TX: 3, TY: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Default45nm()
+	bFull, bUnit := m.Estimate(fullVN), m.Estimate(unitVN)
+	if bFull.ReductionPJ <= bUnit.ReductionPJ {
+		t.Fatal("full-VN mapping must spend more reduction energy")
+	}
+	if bFull.AccumBufferPJ >= bUnit.AccumBufferPJ {
+		t.Fatal("unit-VN mapping must spend more accumulation-buffer energy")
+	}
+	// Compute energy is mapping-invariant (same MACs).
+	if bFull.ComputePJ != bUnit.ComputePJ {
+		t.Fatal("compute energy must not depend on the mapping")
+	}
+}
+
+func TestStaticScalesWithArray(t *testing.T) {
+	m := Default45nm()
+	small := stats.Stats{Cycles: 1000, Multipliers: 8}
+	big := stats.Stats{Cycles: 1000, Multipliers: 256}
+	if m.Estimate(small).StaticPJ >= m.Estimate(big).StaticPJ {
+		t.Fatal("static energy must scale with array size")
+	}
+}

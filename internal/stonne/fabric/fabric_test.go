@@ -1,0 +1,181 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestDistributionNetworkCycles(t *testing.T) {
+	dn, err := NewDistributionNetwork(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := dn.Deliver(16); c != 1 {
+		t.Fatalf("16 elems over bw 16 = %d cycles, want 1", c)
+	}
+	if c := dn.Deliver(17); c != 2 {
+		t.Fatalf("17 elems over bw 16 = %d cycles, want 2", c)
+	}
+	if c := dn.Deliver(0); c != 0 {
+		t.Fatalf("0 elems = %d cycles, want 0", c)
+	}
+	if dn.Elements != 33 || dn.Cycles != 3 {
+		t.Fatalf("counters: %d elems, %d cycles", dn.Elements, dn.Cycles)
+	}
+}
+
+func TestDistributionNetworkValidation(t *testing.T) {
+	if _, err := NewDistributionNetwork(0); err == nil {
+		t.Fatal("zero bandwidth must be rejected")
+	}
+}
+
+func TestReductionNetworkPsums(t *testing.T) {
+	rn, err := NewReductionNetwork(ART, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := rn.Reduce(1); p != 0 {
+		t.Fatalf("VN of 1 produces %d psums, want 0", p)
+	}
+	if p := rn.Reduce(8); p != 7 {
+		t.Fatalf("VN of 8 produces %d psums, want 7", p)
+	}
+	if p := rn.ReduceMany(4, 10); p != 30 {
+		t.Fatalf("10 VNs of 4 produce %d psums, want 30", p)
+	}
+	if rn.Psums != 37 {
+		t.Fatalf("accumulated psums = %d", rn.Psums)
+	}
+}
+
+func TestReductionNetworkDepth(t *testing.T) {
+	fen, _ := NewReductionNetwork(FEN, 8)
+	cases := []struct{ vn, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {128, 7},
+	}
+	for _, c := range cases {
+		if got := fen.Depth(c.vn); got != c.want {
+			t.Fatalf("FEN Depth(%d) = %d, want %d", c.vn, got, c.want)
+		}
+	}
+	tm, _ := NewReductionNetwork(Temporal, 8)
+	if tm.Depth(64) != 0 {
+		t.Fatal("temporal reduction has no spatial tree depth")
+	}
+}
+
+func TestARTFoldingPenalty(t *testing.T) {
+	// The ART pays one forwarding hop for non-power-of-two VN sizes; the
+	// fold-enabled network does not (the FENETWORK-vs-ASNETWORK distinction).
+	art, _ := NewReductionNetwork(ART, 8)
+	fen, _ := NewReductionNetwork(FEN, 8)
+	for _, vn := range []int{2, 4, 8, 16, 64} { // powers of two: identical
+		if art.Depth(vn) != fen.Depth(vn) {
+			t.Fatalf("pow2 VN %d: ART %d != FEN %d", vn, art.Depth(vn), fen.Depth(vn))
+		}
+	}
+	for _, vn := range []int{3, 5, 9, 18, 100} { // folded: ART one deeper
+		if art.Depth(vn) != fen.Depth(vn)+1 {
+			t.Fatalf("folded VN %d: ART %d, FEN %d, want +1", vn, art.Depth(vn), fen.Depth(vn))
+		}
+	}
+}
+
+func TestReductionNetworkDrain(t *testing.T) {
+	rn, _ := NewReductionNetwork(FEN, 4)
+	if c := rn.Drain(4); c != 1 {
+		t.Fatalf("drain 4 over bw 4 = %d cycles", c)
+	}
+	if c := rn.Drain(5); c != 2 {
+		t.Fatalf("drain 5 over bw 4 = %d cycles", c)
+	}
+}
+
+func TestAccumulationBufferRecirculation(t *testing.T) {
+	with := NewAccumulationBuffer(true)
+	if r := with.Accumulate(10, true); r != 0 {
+		t.Fatalf("first step recirculated %d", r)
+	}
+	if r := with.Accumulate(10, false); r != 0 {
+		t.Fatal("buffer present: no recirculation")
+	}
+	if with.Reads != 10 || with.Writes != 20 {
+		t.Fatalf("reads=%d writes=%d", with.Reads, with.Writes)
+	}
+	without := NewAccumulationBuffer(false)
+	if r := without.Accumulate(10, true); r != 0 {
+		t.Fatal("first step never recirculates")
+	}
+	if r := without.Accumulate(10, false); r != 10 {
+		t.Fatalf("no buffer: recirculated %d, want 10", r)
+	}
+	if without.Recirculated() != 10 {
+		t.Fatalf("Recirculated() = %d", without.Recirculated())
+	}
+}
+
+func TestSystolicMeshMatchesGEMM(t *testing.T) {
+	// Property: the ticked mesh must compute exact tile products.
+	f := func(seed int64) bool {
+		rows, cols, k := 4, 6, 9
+		mesh, err := NewSystolicMesh(rows, cols)
+		if err != nil {
+			return false
+		}
+		a := tensor.RandomUniform(seed, 1, rows, k)
+		b := tensor.RandomUniform(seed+1, 1, k, cols)
+		out, cycles := mesh.MultiplyTile(a.Data(), b.Data(), k)
+		if cycles != int64(k+rows+cols-2)+1 {
+			return false
+		}
+		want := tensor.GEMM(a, b)
+		got := tensor.FromData(out, rows, cols)
+		return tensor.AllClose(want, got, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystolicMeshSkewAlignment(t *testing.T) {
+	// A 2×2 mesh with k=1: out[r][c] = a[r]·b[c]; checks that operands meet
+	// at the right PE despite the skew.
+	mesh, err := NewSystolicMesh(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := mesh.MultiplyTile([]float32{2, 3}, []float32{5, 7}, 1)
+	want := []float32{10, 14, 15, 21}
+	for i, v := range out {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestSystolicMeshValidation(t *testing.T) {
+	if _, err := NewSystolicMesh(0, 4); err == nil {
+		t.Fatal("zero rows must be rejected")
+	}
+	mesh, _ := NewSystolicMesh(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched operand size")
+		}
+	}()
+	mesh.MultiplyTile([]float32{1}, []float32{1, 2}, 1)
+}
+
+func TestSystolicMeshResetBetweenTiles(t *testing.T) {
+	mesh, _ := NewSystolicMesh(2, 2)
+	mesh.MultiplyTile([]float32{1, 1}, []float32{1, 1}, 1)
+	out, _ := mesh.MultiplyTile([]float32{0, 0}, []float32{0, 0}, 1)
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("accumulator %d not reset: %v", i, v)
+		}
+	}
+}

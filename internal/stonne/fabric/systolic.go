@@ -1,0 +1,114 @@
+package fabric
+
+import "fmt"
+
+// SystolicMesh is a cycle-ticked output-stationary systolic array of
+// Rows × Cols processing elements organised as the TPU's OS_MESH network:
+// operand A streams in from the left edge (one value per row per cycle,
+// skewed), operand B streams in from the top edge (one value per column per
+// cycle, skewed), and each PE multiplies the operands passing through it and
+// accumulates into a stationary register. Unlike the MAERI/SIGMA step
+// models, the mesh is simulated PE-by-PE every cycle.
+type SystolicMesh struct {
+	Rows, Cols int
+
+	// Per-PE pipeline registers and accumulators, row-major.
+	aReg, bReg, acc []float32
+
+	// Cycle counter since Reset.
+	Cycle int64
+}
+
+// NewSystolicMesh builds a mesh of the given dimensions.
+func NewSystolicMesh(rows, cols int) (*SystolicMesh, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("fabric: systolic mesh needs positive dims, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	return &SystolicMesh{
+		Rows: rows, Cols: cols,
+		aReg: make([]float32, n), bReg: make([]float32, n), acc: make([]float32, n),
+	}, nil
+}
+
+// Reset clears accumulators and pipeline registers for a new output tile.
+func (m *SystolicMesh) Reset() {
+	for i := range m.acc {
+		m.acc[i], m.aReg[i], m.bReg[i] = 0, 0, 0
+	}
+}
+
+// Tick advances the array one cycle. aIn[r] is the value entering row r from
+// the left; bIn[c] is the value entering column c from the top. Values
+// propagate right/down one PE per cycle; each PE accumulates
+// aReg×bReg after the shift, so operands injected with the standard skew
+// meet at the correct PE.
+func (m *SystolicMesh) Tick(aIn, bIn []float32) {
+	if len(aIn) != m.Rows || len(bIn) != m.Cols {
+		panic(fmt.Sprintf("fabric: Tick edge sizes %d/%d do not match mesh %dx%d", len(aIn), len(bIn), m.Rows, m.Cols))
+	}
+	// Shift right: process columns from the last to the first.
+	for r := 0; r < m.Rows; r++ {
+		base := r * m.Cols
+		for c := m.Cols - 1; c > 0; c-- {
+			m.aReg[base+c] = m.aReg[base+c-1]
+		}
+		m.aReg[base] = aIn[r]
+	}
+	// Shift down: process rows from the last to the first.
+	for c := 0; c < m.Cols; c++ {
+		for r := m.Rows - 1; r > 0; r-- {
+			m.bReg[r*m.Cols+c] = m.bReg[(r-1)*m.Cols+c]
+		}
+		m.bReg[c] = bIn[c]
+	}
+	// MAC.
+	for i := range m.acc {
+		m.acc[i] += m.aReg[i] * m.bReg[i]
+	}
+	m.Cycle++
+}
+
+// Acc returns the accumulator of PE (r, c).
+func (m *SystolicMesh) Acc(r, c int) float32 { return m.acc[r*m.Cols+c] }
+
+// MultiplyTile computes the output-stationary product of a (Rows × K) tile
+// of A with a (K × Cols) tile of B, feeding the edges with the canonical
+// skew: row r's stream is delayed by r cycles and column c's by c cycles.
+// It returns the accumulated Rows × Cols outputs (row-major) and the number
+// of cycles consumed: K + Rows + Cols − 2 ticks until the last operand pair
+// meets at the bottom-right PE, plus one drain cycle.
+//
+// a is indexed a[r*k+i]; b is indexed b[i*Cols+c]. Rows/Cols smaller than
+// the mesh are handled by the caller passing zero-padded tiles.
+func (m *SystolicMesh) MultiplyTile(a, b []float32, k int) ([]float32, int64) {
+	if len(a) != m.Rows*k || len(b) != k*m.Cols {
+		panic(fmt.Sprintf("fabric: MultiplyTile operand sizes %d/%d do not match mesh %dx%d, k=%d", len(a), len(b), m.Rows, m.Cols, k))
+	}
+	m.Reset()
+	total := k + m.Rows + m.Cols - 2
+	aIn := make([]float32, m.Rows)
+	bIn := make([]float32, m.Cols)
+	for t := 0; t < total; t++ {
+		for r := 0; r < m.Rows; r++ {
+			i := t - r // skew: row r delayed r cycles
+			if i >= 0 && i < k {
+				aIn[r] = a[r*k+i]
+			} else {
+				aIn[r] = 0
+			}
+		}
+		for c := 0; c < m.Cols; c++ {
+			i := t - c
+			if i >= 0 && i < k {
+				bIn[c] = b[i*m.Cols+c]
+			} else {
+				bIn[c] = 0
+			}
+		}
+		m.Tick(aIn, bIn)
+	}
+	out := make([]float32, m.Rows*m.Cols)
+	copy(out, m.acc)
+	return out, int64(total) + 1 // +1 drain cycle into the accumulation buffer
+}

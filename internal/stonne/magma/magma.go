@@ -1,0 +1,183 @@
+// Package magma implements the paper's second future-work item: "add
+// support for more operators such as sparse-dense matrix multiplication
+// [19], which would allow other accelerator designs like MAGMA to be
+// evaluated" (§IX). MAGMA-class accelerators execute SpMSpM — both the
+// stationary and the streaming operand are sparse — so the engine here
+// generalises SIGMA's design: both matrices are bitmap-compressed, the
+// memory controller packs stationary nonzeros into rounds, and during
+// streaming only the input elements whose reduction coordinate matches a
+// stationary nonzero are fetched (bitmap intersection), so cycles scale
+// with the *matched* nonzero pairs rather than with either operand alone.
+package magma
+
+import (
+	"fmt"
+
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/fabric"
+	"repro/internal/stonne/sigma"
+	"repro/internal/stonne/stats"
+	"repro/internal/tensor"
+)
+
+// Engine simulates one MAGMA-class SpMSpM instance. It reuses the
+// SIGMA_SPARSE_GEMM hardware configuration (linear multiplier network,
+// FAN-style reduction): the architectures differ in controller capability,
+// not fabric geometry.
+type Engine struct {
+	cfg config.HWConfig
+}
+
+// NewEngine validates the configuration and returns an engine.
+func NewEngine(cfg config.HWConfig) (*Engine, error) {
+	if cfg.Controller != config.SIGMASparseGEMM {
+		return nil, fmt.Errorf("magma: the SpMSpM engine uses the SIGMA_SPARSE_GEMM fabric configuration, got %s", cfg.Controller)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// SpMSpM computes out = a × b for a [S, K] and b [K, M], skipping every
+// multiplication where either operand is zero. It returns the dense [S, M]
+// product and the simulation statistics; MACs counts only matched nonzero
+// pairs.
+func (e *Engine) SpMSpM(a, b *tensor.Tensor) (*tensor.Tensor, stats.Stats, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, stats.Stats{}, fmt.Errorf("magma: SpMSpM requires 2-D operands, got %v × %v", a.Shape(), b.Shape())
+	}
+	s, k := a.Dim(0), a.Dim(1)
+	k2, m := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		return nil, stats.Stats{}, fmt.Errorf("magma: inner dimensions differ: %v × %v", a.Shape(), b.Shape())
+	}
+	dn, err := fabric.NewDistributionNetwork(e.cfg.DNBandwidth)
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	rn, err := fabric.NewReductionNetwork(fabric.FEN, e.cfg.RNBandwidth)
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	ab := fabric.NewAccumulationBuffer(e.cfg.AccumBuffer)
+
+	type nonzero struct {
+		row, k int
+		v      float32
+	}
+	var nz []nonzero
+	aD := a.Data()
+	for r := 0; r < s; r++ {
+		for c := 0; c < k; c++ {
+			if v := aD[r*k+c]; v != 0 {
+				nz = append(nz, nonzero{row: r, k: c, v: v})
+			}
+		}
+	}
+	// Column-sparsity index of b: nonzero (k, value) pairs per column.
+	bD := b.Data()
+	bNNZ := make([][]bool, k)
+	for kk := 0; kk < k; kk++ {
+		bNNZ[kk] = make([]bool, m)
+		for col := 0; col < m; col++ {
+			bNNZ[kk][col] = bD[kk*m+col] != 0
+		}
+	}
+
+	out := tensor.New(s, m)
+	outD := out.Data()
+	var st stats.Stats
+	st.Multipliers = e.cfg.MSSize
+	st.Outputs = int64(s) * int64(m)
+	var cycles int64
+	ms := e.cfg.MSSize
+
+	seenRow := make([]bool, s)
+	for base := 0; base < len(nz); base += ms {
+		chunk := nz[base:min(base+ms, len(nz))]
+		cycles += dn.Deliver(int64(len(chunk)))
+		st.WeightLoads += int64(len(chunk))
+
+		// Distinct k coordinates and row segments of the chunk.
+		kList := make([]int, 0, len(chunk))
+		lastK := -1
+		segments := 0
+		lastRow := -1
+		continued := int64(0)
+		for _, el := range chunk {
+			if el.k != lastK {
+				kList = append(kList, el.k)
+				lastK = el.k
+			}
+			if el.row != lastRow {
+				segments++
+				lastRow = el.row
+				if seenRow[el.row] {
+					continued++
+				}
+				seenRow[el.row] = true
+			}
+		}
+
+		for col := 0; col < m; col++ {
+			// Bitmap intersection: only streaming elements that are
+			// themselves nonzero AND match a stationary k are fetched.
+			matched := 0
+			for _, kk := range kList {
+				if bNNZ[kk][col] {
+					matched++
+				}
+			}
+			if matched == 0 {
+				continue // the controller skips the column outright
+			}
+			inCycles := dn.Deliver(int64(matched))
+			ab.Accumulate(int64(segments)-continued, true)
+			recirc := ab.Accumulate(continued, false)
+			if recirc > 0 {
+				inCycles += dn.Deliver(recirc)
+			}
+			// MACs and psums: matched pairs only.
+			pairs := 0
+			for _, el := range chunk {
+				if bNNZ[el.k][col] {
+					outD[el.row*m+col] += el.v * bD[el.k*m+col]
+					pairs++
+				}
+			}
+			st.MACs += int64(pairs)
+			segPsums := int64(pairs - segments)
+			if segPsums < 0 {
+				segPsums = 0
+			}
+			rn.Psums += segPsums
+			st.SpatialPsums += segPsums
+			drain := rn.Drain(int64(segments))
+			cycles += max(inCycles, drain, 1)
+			st.Steps++
+			st.AccumWrites += int64(segments)
+			st.InputLoads += int64(matched)
+		}
+	}
+	cycles += int64(rn.Depth(min(ms, k))) + 1
+	st.Cycles = cycles
+	st.DNElements = dn.Elements
+	return out, st, nil
+}
+
+// CompressOperands returns the bitmap encodings the memory controller
+// builds for both operands — exposed for inspection and tests; the bitmaps
+// are the out-of-band metadata that makes the k-coordinate intersection
+// free of value traffic.
+func CompressOperands(a, b *tensor.Tensor) (*sigma.Bitmap, *sigma.Bitmap, error) {
+	aBM, err := sigma.CompressBitmap(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	bBM, err := sigma.CompressBitmap(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aBM, bBM, nil
+}

@@ -1,0 +1,160 @@
+package magma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stonne/config"
+	"repro/internal/tensor"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(config.Default(config.SIGMASparseGEMM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineRejectsOtherFabrics(t *testing.T) {
+	if _, err := NewEngine(config.Default(config.MAERIDenseWorkload)); err == nil {
+		t.Fatal("MAERI config must be rejected")
+	}
+	bad := config.Default(config.SIGMASparseGEMM)
+	bad.MSSize = 7
+	if _, err := NewEngine(bad); err == nil {
+		t.Fatal("invalid fabric must be rejected")
+	}
+}
+
+func TestSpMSpMCorrect(t *testing.T) {
+	e := newEngine(t)
+	a := tensor.RandomUniform(1, 1, 16, 32)
+	tensor.Prune(a, 0.6)
+	b := tensor.RandomUniform(2, 1, 32, 12)
+	tensor.Prune(b, 0.4)
+	got, st, err := e.SpMSpM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.GEMM(a, b)
+	if !tensor.AllClose(want, got, 1e-3) {
+		t.Fatalf("SpMSpM wrong: max diff %v", tensor.MaxAbsDiff(want, got))
+	}
+	// MACs must count only matched nonzero pairs.
+	var pairs int64
+	for r := 0; r < 16; r++ {
+		for kk := 0; kk < 32; kk++ {
+			if a.At(r, kk) == 0 {
+				continue
+			}
+			for col := 0; col < 12; col++ {
+				if b.At(kk, col) != 0 {
+					pairs++
+				}
+			}
+		}
+	}
+	if st.MACs != pairs {
+		t.Fatalf("MACs = %d, want matched pairs %d", st.MACs, pairs)
+	}
+	dense := int64(16 * 32 * 12)
+	if st.MACs >= dense {
+		t.Fatal("sparse execution must skip work")
+	}
+}
+
+func TestSpMSpMProperty(t *testing.T) {
+	e := newEngine(t)
+	f := func(seed int64) bool {
+		s := 1 + int(uint(seed)%20)
+		k := 1 + int(uint(seed>>8)%24)
+		m := 1 + int(uint(seed>>16)%10)
+		a := tensor.RandomUniform(seed, 1, s, k)
+		tensor.Prune(a, float64(uint(seed>>24)%90)/100)
+		b := tensor.RandomUniform(seed+1, 1, k, m)
+		tensor.Prune(b, float64(uint(seed>>32)%90)/100)
+		got, _, err := e.SpMSpM(a, b)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(tensor.GEMM(a, b), got, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingSparsityReducesCycles(t *testing.T) {
+	// The SpMSpM advantage over SIGMA: sparsity in the *streaming* operand
+	// also cuts cycles, because the bitmap intersection skips unmatched
+	// fetches.
+	e := newEngine(t)
+	a := tensor.RandomUniform(1, 1, 64, 256)
+	tensor.Prune(a, 0.5)
+	dense := tensor.RandomUniform(2, 1, 256, 32)
+	for i, v := range dense.Data() {
+		if v == 0 {
+			dense.Data()[i] = 0.1
+		}
+	}
+	sparse := dense.Clone()
+	tensor.Prune(sparse, 0.7)
+	_, stDense, err := e.SpMSpM(a, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stSparse, err := e.SpMSpM(a, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSparse.Cycles >= stDense.Cycles {
+		t.Fatalf("streaming sparsity must cut cycles: %d vs %d", stSparse.Cycles, stDense.Cycles)
+	}
+	if stSparse.MACs >= stDense.MACs {
+		t.Fatal("streaming sparsity must cut MACs")
+	}
+}
+
+func TestBothOperandsZero(t *testing.T) {
+	e := newEngine(t)
+	out, st, err := e.SpMSpM(tensor.New(4, 8), tensor.New(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MACs != 0 {
+		t.Fatalf("all-zero SpMSpM did %d MACs", st.MACs)
+	}
+	for _, v := range out.Data() {
+		if v != 0 {
+			t.Fatal("output must be zero")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	e := newEngine(t)
+	if _, _, err := e.SpMSpM(tensor.New(2, 3), tensor.New(4, 2)); err == nil {
+		t.Fatal("inner dim mismatch must be rejected")
+	}
+	if _, _, err := e.SpMSpM(tensor.New(6), tensor.New(6, 1)); err == nil {
+		t.Fatal("1-D operand must be rejected")
+	}
+}
+
+func TestCompressOperands(t *testing.T) {
+	a := tensor.RandomUniform(1, 1, 8, 8)
+	tensor.Prune(a, 0.5)
+	b := tensor.RandomUniform(2, 1, 8, 8)
+	aBM, bBM, err := CompressOperands(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aBM.NNZ() != a.NNZ() || bBM.NNZ() != b.NNZ() {
+		t.Fatal("bitmap NNZ mismatch")
+	}
+	if _, _, err := CompressOperands(tensor.New(2, 2, 2), b); err == nil {
+		t.Fatal("3-D operand must be rejected")
+	}
+}

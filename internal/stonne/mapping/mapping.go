@@ -1,0 +1,142 @@
+// Package mapping models the dataflow mapping (tile) configurations of
+// reconfigurable accelerators — Tables IV and V of the Bifrost paper. A
+// mapping is "a specific instance of a dataflow": it partitions a layer's
+// iteration space into tiles that are mapped spatially onto the multiplier
+// array, and it determines both the virtual-neuron structure configured into
+// the reduction tree and the number of sequential steps.
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvMapping is a tile configuration for a convolution on MAERI
+// (Table IV). T_R×T_S×T_C multipliers form one virtual neuron (VN): they
+// compute partial products that the reduction tree combines spatially. The
+// remaining tiles replicate VNs across filters (T_K), groups (T_G), batch
+// (T_N) and output positions (T_X, T_Y).
+type ConvMapping struct {
+	TR, TS, TC, TK, TG, TN, TX, TY int
+}
+
+// Basic returns the all-ones mapping Bifrost generates when the user does
+// not provide one — valid for every architecture but very inefficient
+// ("Execution using this mapping will be inefficient, but it makes it
+// possible for researchers to quickly evaluate an architecture", §VII-C).
+func Basic() ConvMapping { return ConvMapping{1, 1, 1, 1, 1, 1, 1, 1} }
+
+// VNSize returns the number of multipliers per virtual neuron.
+func (m ConvMapping) VNSize() int { return m.TR * m.TS * m.TC }
+
+// NumVNs returns the number of virtual neurons mapped simultaneously.
+func (m ConvMapping) NumVNs() int { return m.TK * m.TG * m.TN * m.TX * m.TY }
+
+// Multipliers returns the total number of multipliers the mapping occupies.
+func (m ConvMapping) Multipliers() int { return m.VNSize() * m.NumVNs() }
+
+// String renders the tile tuple in Table IV order.
+func (m ConvMapping) String() string {
+	return fmt.Sprintf("T_R=%d T_S=%d T_C=%d T_K=%d T_G=%d T_N=%d T_X=%d T_Y=%d",
+		m.TR, m.TS, m.TC, m.TK, m.TG, m.TN, m.TX, m.TY)
+}
+
+// Validate checks the mapping against a layer geometry and a multiplier
+// budget. Every tile must be positive, no tile may exceed its dimension, the
+// batch tile must be 1 (STONNE supports only N=1), and the spatial footprint
+// must fit in the array.
+func (m ConvMapping) Validate(d tensor.ConvDims, msSize int) error {
+	if err := d.Resolve(); err != nil {
+		return err
+	}
+	type bound struct {
+		name      string
+		tile, dim int
+	}
+	bounds := []bound{
+		{"T_R", m.TR, d.R}, {"T_S", m.TS, d.S}, {"T_C", m.TC, d.C / d.G},
+		{"T_K", m.TK, d.K / d.G}, {"T_G", m.TG, d.G}, {"T_N", m.TN, d.N},
+		{"T_X", m.TX, d.P()}, {"T_Y", m.TY, d.Q()},
+	}
+	for _, b := range bounds {
+		if b.tile < 1 {
+			return fmt.Errorf("mapping: %s must be ≥ 1, got %d", b.name, b.tile)
+		}
+		if b.tile > b.dim {
+			return fmt.Errorf("mapping: %s=%d exceeds its dimension %d", b.name, b.tile, b.dim)
+		}
+	}
+	if m.TN != 1 {
+		return fmt.Errorf("mapping: STONNE only supports T_N=1, got %d", m.TN)
+	}
+	if need := m.Multipliers(); need > msSize {
+		return fmt.Errorf("mapping: needs %d multipliers but the array has %d", need, msSize)
+	}
+	return nil
+}
+
+// Steps returns the number of sequential tile iterations needed to cover the
+// full convolution iteration space.
+func (m ConvMapping) Steps(d tensor.ConvDims) int64 {
+	ceil := func(a, b int) int64 { return int64((a + b - 1) / b) }
+	return ceil(d.R, m.TR) * ceil(d.S, m.TS) * ceil(d.C/d.G, m.TC) *
+		ceil(d.K/d.G, m.TK) * ceil(d.G, m.TG) * ceil(d.N, m.TN) *
+		ceil(d.P(), m.TX) * ceil(d.Q(), m.TY)
+}
+
+// FCMapping is a tile configuration for a fully connected (dense) layer on
+// MAERI (Table V): T_S output neurons × T_N batches of virtual neurons,
+// each spatially reducing T_K input neurons.
+type FCMapping struct {
+	TS, TN, TK int
+}
+
+// BasicFC returns the all-ones default FC mapping.
+func BasicFC() FCMapping { return FCMapping{1, 1, 1} }
+
+// VNSize returns the multipliers per virtual neuron (the spatial reduction
+// width over input neurons).
+func (m FCMapping) VNSize() int { return m.TK }
+
+// NumVNs returns the number of simultaneously mapped virtual neurons.
+func (m FCMapping) NumVNs() int { return m.TS * m.TN }
+
+// Multipliers returns the mapping's total multiplier footprint.
+func (m FCMapping) Multipliers() int { return m.VNSize() * m.NumVNs() }
+
+// String renders the tuple in the order used by Table VI: T_S, T_K, T_N.
+func (m FCMapping) String() string {
+	return fmt.Sprintf("%d, %d, %d", m.TS, m.TK, m.TN)
+}
+
+// Validate checks the FC mapping against a dense layer of M batches,
+// K input neurons and N output neurons.
+func (m FCMapping) Validate(batches, inNeurons, outNeurons, msSize int) error {
+	if m.TS < 1 || m.TN < 1 || m.TK < 1 {
+		return fmt.Errorf("mapping: FC tiles must be ≥ 1, got %s", m)
+	}
+	if m.TS > outNeurons {
+		return fmt.Errorf("mapping: T_S=%d exceeds output neurons %d", m.TS, outNeurons)
+	}
+	if m.TK > inNeurons {
+		return fmt.Errorf("mapping: T_K=%d exceeds input neurons %d", m.TK, inNeurons)
+	}
+	if m.TN != 1 {
+		return fmt.Errorf("mapping: STONNE only supports T_N=1, got %d", m.TN)
+	}
+	if m.TN > batches {
+		return fmt.Errorf("mapping: T_N=%d exceeds batches %d", m.TN, batches)
+	}
+	if need := m.Multipliers(); need > msSize {
+		return fmt.Errorf("mapping: needs %d multipliers but the array has %d", need, msSize)
+	}
+	return nil
+}
+
+// Steps returns the number of sequential tile iterations for the dense
+// layer.
+func (m FCMapping) Steps(batches, inNeurons, outNeurons int) int64 {
+	ceil := func(a, b int) int64 { return int64((a + b - 1) / b) }
+	return ceil(outNeurons, m.TS) * ceil(inNeurons, m.TK) * ceil(batches, m.TN)
+}

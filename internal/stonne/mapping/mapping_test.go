@@ -1,0 +1,155 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func dims(t *testing.T) tensor.ConvDims {
+	t.Helper()
+	d := tensor.ConvDims{N: 1, C: 8, H: 16, W: 16, K: 16, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBasicMappingValid(t *testing.T) {
+	d := dims(t)
+	m := Basic()
+	if err := m.Validate(d, 8); err != nil {
+		t.Fatal(err)
+	}
+	if m.Multipliers() != 1 || m.VNSize() != 1 || m.NumVNs() != 1 {
+		t.Fatalf("basic mapping footprint: %d mults", m.Multipliers())
+	}
+}
+
+func TestConvMappingFootprint(t *testing.T) {
+	m := ConvMapping{TR: 3, TS: 3, TC: 2, TK: 4, TG: 1, TN: 1, TX: 1, TY: 2}
+	if m.VNSize() != 18 {
+		t.Fatalf("VNSize = %d", m.VNSize())
+	}
+	if m.NumVNs() != 8 {
+		t.Fatalf("NumVNs = %d", m.NumVNs())
+	}
+	if m.Multipliers() != 144 {
+		t.Fatalf("Multipliers = %d", m.Multipliers())
+	}
+}
+
+func TestConvMappingValidation(t *testing.T) {
+	d := dims(t)
+	cases := []struct {
+		name string
+		m    ConvMapping
+		ms   int
+	}{
+		{"zero tile", ConvMapping{0, 1, 1, 1, 1, 1, 1, 1}, 128},
+		{"T_R too big", ConvMapping{4, 1, 1, 1, 1, 1, 1, 1}, 128},
+		{"T_C too big", ConvMapping{1, 1, 9, 1, 1, 1, 1, 1}, 128},
+		{"T_N not one", ConvMapping{1, 1, 1, 1, 1, 2, 1, 1}, 128},
+		{"budget", ConvMapping{3, 3, 8, 2, 1, 1, 1, 1}, 128},
+		{"T_X too big", ConvMapping{1, 1, 1, 1, 1, 1, 17, 1}, 128},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(d, c.ms); err == nil {
+			t.Fatalf("%s: expected validation error", c.name)
+		}
+	}
+	good := ConvMapping{TR: 3, TS: 3, TC: 2, TK: 4, TG: 1, TN: 1, TX: 1, TY: 1}
+	if err := good.Validate(d, 128); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvStepsCoversIterationSpace(t *testing.T) {
+	d := dims(t)
+	// Basic mapping: one MAC per step ⇒ steps = total MACs.
+	if got := Basic().Steps(d); got != d.MACs() {
+		t.Fatalf("basic steps = %d, want MACs = %d", got, d.MACs())
+	}
+	// A mapping that covers everything spatially in reduction space.
+	m := ConvMapping{TR: 3, TS: 3, TC: 8, TK: 1, TG: 1, TN: 1, TX: 1, TY: 1}
+	want := int64(16 * 16 * 16) // K × P × Q
+	if got := m.Steps(d); got != want {
+		t.Fatalf("steps = %d, want %d", got, want)
+	}
+}
+
+func TestConvStepsTimesFootprintBoundsMACs(t *testing.T) {
+	// Property: steps × multipliers ≥ MACs (tiles may be partially filled
+	// at the edges but never skip work).
+	d := dims(t)
+	f := func(tr, ts, tc, tk, tx, ty uint8) bool {
+		m := ConvMapping{
+			TR: 1 + int(tr)%3, TS: 1 + int(ts)%3, TC: 1 + int(tc)%8,
+			TK: 1 + int(tk)%16, TG: 1, TN: 1, TX: 1 + int(tx)%16, TY: 1 + int(ty)%16,
+		}
+		return m.Steps(d)*int64(m.Multipliers()) >= d.MACs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCMappingValidation(t *testing.T) {
+	if err := BasicFC().Validate(1, 100, 50, 8); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name                 string
+		m                    FCMapping
+		batches, in, out, ms int
+	}{
+		{"zero tile", FCMapping{0, 1, 1}, 1, 100, 50, 128},
+		{"T_S too big", FCMapping{51, 1, 1}, 1, 100, 50, 128},
+		{"T_K too big", FCMapping{1, 1, 101}, 1, 100, 50, 128},
+		{"T_N not one", FCMapping{1, 2, 1}, 2, 100, 50, 128},
+		{"budget", FCMapping{20, 1, 10}, 1, 100, 50, 128},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(c.batches, c.in, c.out, c.ms); err == nil {
+			t.Fatalf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestFCSteps(t *testing.T) {
+	m := FCMapping{TS: 10, TN: 1, TK: 4}
+	// ceil(50/10) × ceil(100/4) × 1 = 5 × 25.
+	if got := m.Steps(1, 100, 50); got != 125 {
+		t.Fatalf("steps = %d, want 125", got)
+	}
+	if got := BasicFC().Steps(1, 100, 50); got != 5000 {
+		t.Fatalf("basic steps = %d, want 5000", got)
+	}
+}
+
+func TestFCStringTableVIOrder(t *testing.T) {
+	// Table VI prints mappings as "T_S, T_K, T_N".
+	m := FCMapping{TS: 12, TN: 1, TK: 8}
+	if got := m.String(); got != "12, 8, 1" {
+		t.Fatalf("String() = %q, want \"12, 8, 1\"", got)
+	}
+}
+
+func TestConvStringMentionsAllTiles(t *testing.T) {
+	s := Basic().String()
+	for _, tile := range []string{"T_R", "T_S", "T_C", "T_K", "T_G", "T_N", "T_X", "T_Y"} {
+		if !contains(s, tile) {
+			t.Fatalf("String() = %q missing %s", s, tile)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

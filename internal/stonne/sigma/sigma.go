@@ -1,0 +1,217 @@
+// Package sigma simulates the SIGMA architecture (Qin et al., HPCA 2020) as
+// implemented in STONNE: a sparse GEMM accelerator whose Flex-DPE
+// multipliers hold bitmap-compressed nonzero stationary elements while the
+// streaming matrix is broadcast through a flexible distribution network and
+// reduced by a FAN tree able to reduce arbitrary-size groups.
+//
+// SIGMA has no user-visible mapping: "the memory controller automatically
+// tiles the matrix depending on the level of sparsity" (§V-A). The memory
+// controller model here packs the stationary matrix's nonzeros into rounds
+// of ms_size elements — denser matrices need more rounds, so cycles scale
+// with the nonzero count, which is exactly the Figure 9 effect.
+package sigma
+
+import (
+	"fmt"
+
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/fabric"
+	"repro/internal/stonne/stats"
+	"repro/internal/tensor"
+)
+
+// Engine simulates one SIGMA instance.
+type Engine struct {
+	cfg config.HWConfig
+}
+
+// NewEngine validates the hardware configuration and returns an engine.
+func NewEngine(cfg config.HWConfig) (*Engine, error) {
+	if cfg.Controller != config.SIGMASparseGEMM {
+		return nil, fmt.Errorf("sigma: controller_type must be SIGMA_SPARSE_GEMM, got %s", cfg.Controller)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// nonzero is one stationary element: value, its row and its reduction
+// coordinate (the shared K dimension).
+type nonzero struct {
+	row, k int
+	v      float32
+}
+
+// Bitmap is the compressed representation of a stationary matrix: one bit
+// per element plus the packed nonzero values, the ECC-style format SIGMA's
+// memory controller builds before filling the Flex-DPEs.
+type Bitmap struct {
+	Rows, Cols int
+	Bits       []uint64
+	Values     []float32
+}
+
+// CompressBitmap builds the bitmap encoding of a 2-D tensor.
+func CompressBitmap(t *tensor.Tensor) (*Bitmap, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("sigma: bitmap compression requires a 2-D tensor, got %v", t.Shape())
+	}
+	rows, cols := t.Dim(0), t.Dim(1)
+	b := &Bitmap{Rows: rows, Cols: cols, Bits: make([]uint64, (rows*cols+63)/64)}
+	for i, v := range t.Data() {
+		if v != 0 {
+			b.Bits[i/64] |= 1 << (i % 64)
+			b.Values = append(b.Values, v)
+		}
+	}
+	return b, nil
+}
+
+// NNZ returns the number of nonzero elements.
+func (b *Bitmap) NNZ() int { return len(b.Values) }
+
+// Decompress reconstructs the dense tensor.
+func (b *Bitmap) Decompress() *tensor.Tensor {
+	t := tensor.New(b.Rows, b.Cols)
+	vi := 0
+	for i := range t.Data() {
+		if b.Bits[i/64]&(1<<(i%64)) != 0 {
+			t.Data()[i] = b.Values[vi]
+			vi++
+		}
+	}
+	return t
+}
+
+// GEMM computes out = stationary × streaming for stationary [S, K] and
+// streaming [K, M], skipping multiplications by stationary zeros (sparse
+// inference, feature iv of Table I). It returns the [S, M] product and the
+// simulation statistics.
+func (e *Engine) GEMM(stationary, streaming *tensor.Tensor) (*tensor.Tensor, stats.Stats, error) {
+	if stationary.Rank() != 2 || streaming.Rank() != 2 {
+		return nil, stats.Stats{}, fmt.Errorf("sigma: GEMM requires 2-D operands, got %v × %v", stationary.Shape(), streaming.Shape())
+	}
+	s, k := stationary.Dim(0), stationary.Dim(1)
+	k2, m := streaming.Dim(0), streaming.Dim(1)
+	if k != k2 {
+		return nil, stats.Stats{}, fmt.Errorf("sigma: GEMM inner dimensions differ: %v × %v", stationary.Shape(), streaming.Shape())
+	}
+	dn, err := fabric.NewDistributionNetwork(e.cfg.DNBandwidth)
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	rn, err := fabric.NewReductionNetwork(fabric.FEN, e.cfg.RNBandwidth)
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	ab := fabric.NewAccumulationBuffer(e.cfg.AccumBuffer)
+
+	// The memory controller compresses the stationary operand. Metadata
+	// (bitmap) travels out of band; only values use multiplier slots.
+	var nz []nonzero
+	stD := stationary.Data()
+	for r := 0; r < s; r++ {
+		for c := 0; c < k; c++ {
+			if v := stD[r*k+c]; v != 0 {
+				nz = append(nz, nonzero{row: r, k: c, v: v})
+			}
+		}
+	}
+
+	out := tensor.New(s, m)
+	outD := out.Data()
+	strD := streaming.Data()
+	var st stats.Stats
+	st.Multipliers = e.cfg.MSSize
+	st.Outputs = int64(s) * int64(m)
+	var cycles int64
+	ms := e.cfg.MSSize
+
+	seenRow := make([]int, s) // round stamp per row, to detect continued rows
+	for i := range seenRow {
+		seenRow[i] = -1
+	}
+	round := 0
+	for base := 0; base < len(nz); base += ms {
+		chunk := nz[base:min(base+ms, len(nz))]
+
+		// Stationary fill: the chunk's values stream through the
+		// distribution network into the Flex-DPEs.
+		cycles += dn.Deliver(int64(len(chunk)))
+		st.WeightLoads += int64(len(chunk))
+
+		// Chunk shape: distinct streaming coordinates (multicast across
+		// rows sharing a k) and row segments (each segment is one FAN
+		// reduction group; segments continuing a previous round's row must
+		// re-accumulate).
+		uniqueK := 0
+		lastK := -1
+		segments := 0
+		lastRow := -1
+		continued := int64(0)
+		for _, el := range chunk {
+			if el.k != lastK {
+				uniqueK++
+				lastK = el.k
+			}
+			if el.row != lastRow {
+				segments++
+				lastRow = el.row
+				if seenRow[el.row] >= 0 {
+					continued++
+				}
+				seenRow[el.row] = round
+			}
+		}
+
+		// Streaming phase: for every output column, deliver the uniqueK
+		// streaming elements (multicast across row groups), reduce each row
+		// segment through the FAN tree, and drain the segment results.
+		segPsums := int64(len(chunk) - segments) // v−1 adds per segment, summed
+		for col := 0; col < m; col++ {
+			inCycles := dn.Deliver(int64(uniqueK))
+			ab.Accumulate(int64(segments)-continued, true)
+			recirc := ab.Accumulate(continued, false)
+			if recirc > 0 {
+				inCycles += dn.Deliver(recirc)
+			}
+			rn.Psums += segPsums
+			st.SpatialPsums += segPsums
+			drain := rn.Drain(int64(segments))
+			cycles += max(inCycles, drain, 1)
+			st.Steps++
+			st.MACs += int64(len(chunk))
+			st.AccumWrites += int64(segments)
+			st.InputLoads += int64(uniqueK)
+
+			// Exact arithmetic for this chunk/column.
+			for _, el := range chunk {
+				outD[el.row*m+col] += el.v * strD[el.k*m+col]
+			}
+		}
+		round++
+	}
+	// FAN pipeline drain for the widest segment (bounded by the chunk).
+	cycles += int64(rn.Depth(min(ms, k))) + 1
+	st.Cycles = cycles
+	st.DNElements = dn.Elements
+	return out, st, nil
+}
+
+// Dense executes a fully connected layer (input [M, K] × weights [S, K] →
+// [M, S]) with the weights stationary, the orientation SIGMA uses for
+// sparse DNN inference.
+func (e *Engine) Dense(in, weights *tensor.Tensor) (*tensor.Tensor, stats.Stats, error) {
+	if in.Rank() != 2 || weights.Rank() != 2 {
+		return nil, stats.Stats{}, fmt.Errorf("sigma: dense requires 2-D input and weights, got %v and %v", in.Shape(), weights.Shape())
+	}
+	if in.Dim(1) != weights.Dim(1) {
+		return nil, stats.Stats{}, fmt.Errorf("sigma: dense reduction mismatch: input %v vs weights %v", in.Shape(), weights.Shape())
+	}
+	prod, st, err := e.GEMM(weights, in.Transpose(1, 0)) // [S, M]
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	return prod.Transpose(1, 0), st, nil
+}

@@ -1,0 +1,198 @@
+package sigma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stonne/config"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(config.Default(config.SIGMASparseGEMM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineRejectsWrongController(t *testing.T) {
+	if _, err := NewEngine(config.Default(config.MAERIDenseWorkload)); err == nil {
+		t.Fatal("MAERI config must be rejected")
+	}
+}
+
+func TestBitmapRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		w := tensor.RandomNormal(seed, 1, 13, 17)
+		tensor.Prune(w, 0.6)
+		b, err := CompressBitmap(w)
+		if err != nil {
+			return false
+		}
+		if b.NNZ() != w.NNZ() {
+			return false
+		}
+		return tensor.MaxAbsDiff(w, b.Decompress()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapValidation(t *testing.T) {
+	if _, err := CompressBitmap(tensor.New(2, 2, 2)); err == nil {
+		t.Fatal("3-D tensor must be rejected")
+	}
+}
+
+func TestGEMMCorrectDense(t *testing.T) {
+	e := newEngine(t)
+	a := tensor.RandomUniform(1, 1, 12, 30)
+	b := tensor.RandomUniform(2, 1, 30, 9)
+	got, st, err := e.GEMM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.GEMM(a, b)
+	if !tensor.AllClose(want, got, 1e-3) {
+		t.Fatalf("SIGMA GEMM wrong: max diff %v", tensor.MaxAbsDiff(want, got))
+	}
+	if st.MACs != int64(12*30*9) {
+		t.Fatalf("dense MACs = %d, want %d", st.MACs, 12*30*9)
+	}
+}
+
+func TestGEMMCorrectSparse(t *testing.T) {
+	e := newEngine(t)
+	a := tensor.RandomUniform(3, 1, 20, 40)
+	tensor.Prune(a, 0.5)
+	b := tensor.RandomUniform(4, 1, 40, 7)
+	got, st, err := e.GEMM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.GEMM(a, b)
+	if !tensor.AllClose(want, got, 1e-3) {
+		t.Fatalf("sparse GEMM wrong: max diff %v", tensor.MaxAbsDiff(want, got))
+	}
+	// Zeros must be skipped: MACs = nnz × N.
+	if st.MACs != int64(a.NNZ()*7) {
+		t.Fatalf("sparse MACs = %d, want nnz×N = %d", st.MACs, a.NNZ()*7)
+	}
+}
+
+func TestSparsityReducesCycles(t *testing.T) {
+	// The Figure 9 effect: 50% pruning should cut cycles roughly in half.
+	e := newEngine(t)
+	b := tensor.RandomUniform(5, 1, 256, 16)
+	dense := tensor.RandomUniform(6, 1, 128, 256)
+	for i := range dense.Data() {
+		if dense.Data()[i] == 0 {
+			dense.Data()[i] = 0.1 // ensure fully dense baseline
+		}
+	}
+	_, stDense, err := e.GEMM(dense, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := dense.Clone()
+	tensor.Prune(pruned, 0.5)
+	_, stSparse, err := e.GEMM(pruned, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(stSparse.Cycles) / float64(stDense.Cycles)
+	if ratio < 0.35 || ratio > 0.75 {
+		t.Fatalf("50%% sparsity cycle ratio = %.2f, want ≈0.5 (paper: 44-54%% fewer cycles)", ratio)
+	}
+}
+
+func TestHigherSparsityMonotone(t *testing.T) {
+	e := newEngine(t)
+	b := tensor.RandomUniform(7, 1, 128, 8)
+	prev := int64(1 << 62)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		w := tensor.RandomUniform(8, 1, 64, 128)
+		tensor.Prune(w, frac)
+		_, st, err := e.GEMM(w, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cycles > prev {
+			t.Fatalf("cycles must not increase with sparsity: %d after %d at %.2f", st.Cycles, prev, frac)
+		}
+		prev = st.Cycles
+	}
+}
+
+func TestGEMMPropertyMatchesReference(t *testing.T) {
+	e := newEngine(t)
+	f := func(seed int64) bool {
+		s := 1 + int(uint(seed)%23)
+		k := 1 + int(uint(seed>>8)%31)
+		m := 1 + int(uint(seed>>16)%11)
+		a := tensor.RandomUniform(seed, 1, s, k)
+		tensor.Prune(a, float64(uint(seed>>24)%80)/100)
+		b := tensor.RandomUniform(seed+1, 1, k, m)
+		got, _, err := e.GEMM(a, b)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(tensor.GEMM(a, b), got, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGEMMValidation(t *testing.T) {
+	e := newEngine(t)
+	if _, _, err := e.GEMM(tensor.New(2, 3), tensor.New(4, 2)); err == nil {
+		t.Fatal("inner dim mismatch must be rejected")
+	}
+	if _, _, err := e.GEMM(tensor.New(6), tensor.New(6, 1)); err == nil {
+		t.Fatal("1-D operand must be rejected")
+	}
+}
+
+func TestDenseMatchesTopi(t *testing.T) {
+	e := newEngine(t)
+	in := tensor.RandomUniform(1, 1, 3, 64)
+	w := tensor.RandomUniform(2, 1, 32, 64)
+	tensor.Prune(w, 0.4)
+	want, err := topi.Dense(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := e.Dense(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(want, got, 1e-3) {
+		t.Fatalf("SIGMA dense wrong: max diff %v", tensor.MaxAbsDiff(want, got))
+	}
+	if st.Outputs != 32*3 {
+		t.Fatalf("outputs = %d", st.Outputs)
+	}
+}
+
+func TestAllZeroStationary(t *testing.T) {
+	e := newEngine(t)
+	a := tensor.New(8, 8) // all zeros: nothing to load or compute
+	b := tensor.RandomUniform(1, 1, 8, 4)
+	got, st, err := e.GEMM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MACs != 0 {
+		t.Fatalf("all-zero stationary should do 0 MACs, did %d", st.MACs)
+	}
+	for _, v := range got.Data() {
+		if v != 0 {
+			t.Fatal("output must be zero")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package stats defines the metrics a STONNE simulation reports. Cycles and
+// psums are the two optimisation targets Bifrost exposes to AutoTVM
+// (§VII-B); the remaining counters support utilisation analysis and the
+// ablation benchmarks.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats aggregates the counters of one simulated layer execution.
+type Stats struct {
+	// Cycles is the simulated clock-cycle count, the primary performance
+	// metric of the paper.
+	Cycles int64
+
+	// MACs is the number of multiply-accumulate operations performed.
+	MACs int64
+
+	// SpatialPsums counts partial sums that flowed through the spatial
+	// reduction network (the tuning metric: "STONNE calculates the required
+	// amount of partial sums to execute the whole layer", §VII-B).
+	SpatialPsums int64
+
+	// AccumWrites counts partial results written to the accumulation buffer
+	// (or recirculated when the buffer is absent).
+	AccumWrites int64
+
+	// DNElements counts scalar values injected into the distribution
+	// network (weights + inputs + recirculated psums); multicast counts once.
+	DNElements int64
+
+	// WeightLoads and InputLoads split DNElements by kind.
+	WeightLoads int64
+	InputLoads  int64
+
+	// Steps is the number of tile iterations executed.
+	Steps int64
+
+	// Outputs is the number of final output elements produced.
+	Outputs int64
+
+	// Multipliers is the array size used, for utilisation computation.
+	Multipliers int
+}
+
+// Utilization returns MACs / (Cycles × Multipliers), the fraction of
+// multiplier-cycles that performed useful work.
+func (s Stats) Utilization() float64 {
+	if s.Cycles == 0 || s.Multipliers == 0 {
+		return 0
+	}
+	return float64(s.MACs) / (float64(s.Cycles) * float64(s.Multipliers))
+}
+
+// Add accumulates other into s, keeping the larger multiplier count. It is
+// used to aggregate per-layer stats into a whole-model report.
+func (s *Stats) Add(other Stats) {
+	s.Cycles += other.Cycles
+	s.MACs += other.MACs
+	s.SpatialPsums += other.SpatialPsums
+	s.AccumWrites += other.AccumWrites
+	s.DNElements += other.DNElements
+	s.WeightLoads += other.WeightLoads
+	s.InputLoads += other.InputLoads
+	s.Steps += other.Steps
+	s.Outputs += other.Outputs
+	if other.Multipliers > s.Multipliers {
+		s.Multipliers = other.Multipliers
+	}
+}
+
+// String renders a single-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d macs=%d psums=%d steps=%d util=%.1f%%",
+		s.Cycles, s.MACs, s.SpatialPsums, s.Steps, 100*s.Utilization())
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUtilization(t *testing.T) {
+	s := Stats{MACs: 640, Cycles: 10, Multipliers: 128}
+	if got := s.Utilization(); got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+	if (Stats{}).Utilization() != 0 {
+		t.Fatal("zero stats must not divide by zero")
+	}
+	if (Stats{MACs: 1, Cycles: 1}).Utilization() != 0 {
+		t.Fatal("zero multipliers must not divide by zero")
+	}
+}
+
+func TestAddAggregates(t *testing.T) {
+	a := Stats{Cycles: 10, MACs: 100, SpatialPsums: 5, AccumWrites: 2, DNElements: 50,
+		WeightLoads: 20, InputLoads: 30, Steps: 4, Outputs: 8, Multipliers: 64}
+	b := Stats{Cycles: 5, MACs: 50, SpatialPsums: 1, AccumWrites: 1, DNElements: 25,
+		WeightLoads: 10, InputLoads: 15, Steps: 2, Outputs: 4, Multipliers: 128}
+	a.Add(b)
+	if a.Cycles != 15 || a.MACs != 150 || a.SpatialPsums != 6 || a.DNElements != 75 {
+		t.Fatalf("aggregate wrong: %+v", a)
+	}
+	if a.WeightLoads != 30 || a.InputLoads != 45 || a.Steps != 6 || a.Outputs != 12 || a.AccumWrites != 3 {
+		t.Fatalf("aggregate wrong: %+v", a)
+	}
+	if a.Multipliers != 128 {
+		t.Fatalf("Add must keep the larger array size, got %d", a.Multipliers)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Stats{Cycles: 7, MACs: 13, SpatialPsums: 3, Steps: 2, Multipliers: 8}
+	out := s.String()
+	for _, want := range []string{"cycles=7", "macs=13", "psums=3", "steps=2", "util="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() = %q missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package stonne
+
+import (
+	"testing"
+
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/mapping"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+func TestNewAllControllers(t *testing.T) {
+	for _, ct := range []config.ControllerType{config.MAERIDenseWorkload, config.SIGMASparseGEMM, config.TPUOSDense} {
+		s, err := New(config.Default(ct))
+		if err != nil {
+			t.Fatalf("New(%s): %v", ct, err)
+		}
+		if s.Config().Controller != ct {
+			t.Fatalf("controller = %s", s.Config().Controller)
+		}
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	c := config.Default(config.MAERIDenseWorkload)
+	c.MSSize = 5
+	if _, err := New(c); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+	c = config.Default(config.MAERIDenseWorkload)
+	c.Controller = "NOPE"
+	if _, err := New(c); err == nil {
+		t.Fatal("unknown controller must be rejected")
+	}
+}
+
+func TestSupportsDirectConv(t *testing.T) {
+	m, _ := New(config.Default(config.MAERIDenseWorkload))
+	s, _ := New(config.Default(config.SIGMASparseGEMM))
+	p, _ := New(config.Default(config.TPUOSDense))
+	if !m.SupportsDirectConv() || s.SupportsDirectConv() || p.SupportsDirectConv() {
+		t.Fatal("only MAERI executes convolutions natively")
+	}
+}
+
+func TestConv2DDispatch(t *testing.T) {
+	d := tensor.ConvDims{N: 1, C: 2, H: 8, W: 8, K: 4, R: 3, S: 3}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	inNCHW := tensor.RandomUniform(1, 1, 1, 2, 8, 8)
+	kerKCRS := tensor.RandomUniform(2, 1, 4, 2, 3, 3)
+	m, _ := New(config.Default(config.MAERIDenseWorkload))
+	out, st, err := m.Conv2D(tensor.NCHWToNHWC(inNCHW), kerKCRS.Transpose(2, 3, 1, 0), d, mapping.Basic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := topi.Conv2DNCHW(inNCHW, kerKCRS, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(want, tensor.NPQKToNKPQ(out), 1e-3) {
+		t.Fatal("façade conv output wrong")
+	}
+	if st.Cycles == 0 {
+		t.Fatal("no cycles reported")
+	}
+	// Non-MAERI architectures must refuse direct convolution.
+	s, _ := New(config.Default(config.SIGMASparseGEMM))
+	if _, _, err := s.Conv2D(nil, nil, d, mapping.Basic()); err == nil {
+		t.Fatal("SIGMA must reject direct convolution")
+	}
+}
+
+func TestDenseDispatchAllArchitectures(t *testing.T) {
+	in := tensor.RandomUniform(1, 1, 1, 32)
+	w := tensor.RandomUniform(2, 1, 16, 32)
+	want, err := topi.Dense(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range []config.ControllerType{config.MAERIDenseWorkload, config.SIGMASparseGEMM, config.TPUOSDense} {
+		s, err := New(config.Default(ct))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := s.Dense(in, w, mapping.FCMapping{TS: 4, TN: 1, TK: 4})
+		if err != nil {
+			t.Fatalf("%s dense: %v", ct, err)
+		}
+		if !tensor.AllClose(want, got, 1e-3) {
+			t.Fatalf("%s dense wrong: max diff %v", ct, tensor.MaxAbsDiff(want, got))
+		}
+		if st.Cycles <= 0 {
+			t.Fatalf("%s reported no cycles", ct)
+		}
+	}
+}
+
+func TestGEMMDispatch(t *testing.T) {
+	a := tensor.RandomUniform(1, 1, 8, 16)
+	b := tensor.RandomUniform(2, 1, 16, 4)
+	want := tensor.GEMM(a, b)
+	for _, ct := range []config.ControllerType{config.SIGMASparseGEMM, config.TPUOSDense} {
+		s, _ := New(config.Default(ct))
+		got, _, err := s.GEMM(a, b)
+		if err != nil {
+			t.Fatalf("%s GEMM: %v", ct, err)
+		}
+		if !tensor.AllClose(want, got, 1e-3) {
+			t.Fatalf("%s GEMM wrong", ct)
+		}
+	}
+	m, _ := New(config.Default(config.MAERIDenseWorkload))
+	if _, _, err := m.GEMM(a, b); err == nil {
+		t.Fatal("MAERI façade must reject raw GEMM")
+	}
+}

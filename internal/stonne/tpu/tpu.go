@@ -1,0 +1,118 @@
+// Package tpu simulates STONNE's fixed systolic-array architecture
+// (TPU_OS_DENSE): an OS_MESH of ms_rows × ms_cols processing elements with a
+// rigid dataflow and a mandatory accumulation buffer. Unlike the MAERI and
+// SIGMA step models, the mesh here is simulated cycle by cycle, PE by PE,
+// through fabric.SystolicMesh — operands physically propagate through the
+// pipeline registers with the canonical skew.
+//
+// The TPU has no mapping space: "since the TPU has a fixed dataflow
+// architecture, the tiling can not be changed" (§V-A).
+package tpu
+
+import (
+	"fmt"
+
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/fabric"
+	"repro/internal/stonne/stats"
+	"repro/internal/tensor"
+)
+
+// Engine simulates one TPU instance.
+type Engine struct {
+	cfg config.HWConfig
+}
+
+// NewEngine validates the hardware configuration and returns an engine.
+func NewEngine(cfg config.HWConfig) (*Engine, error) {
+	cfg = cfg.Normalize()
+	if cfg.Controller != config.TPUOSDense {
+		return nil, fmt.Errorf("tpu: controller_type must be TPU_OS_DENSE, got %s", cfg.Controller)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// GEMM computes out = a × b for a [M, K] and b [K, N] on the systolic mesh.
+// The output is tiled into ms_rows × ms_cols blocks; each block is computed
+// output-stationary with operands streamed through the skewed edges.
+func (e *Engine) GEMM(a, b *tensor.Tensor) (*tensor.Tensor, stats.Stats, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, stats.Stats{}, fmt.Errorf("tpu: GEMM requires 2-D operands, got %v × %v", a.Shape(), b.Shape())
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		return nil, stats.Stats{}, fmt.Errorf("tpu: GEMM inner dimensions differ: %v × %v", a.Shape(), b.Shape())
+	}
+	rows, cols := e.cfg.MSRows, e.cfg.MSCols
+	mesh, err := fabric.NewSystolicMesh(rows, cols)
+	if err != nil {
+		return nil, stats.Stats{}, err
+	}
+	out := tensor.New(m, n)
+	var st stats.Stats
+	st.Multipliers = rows * cols
+	st.Outputs = int64(m) * int64(n)
+	st.MACs = int64(m) * int64(k) * int64(n)
+
+	aTile := make([]float32, rows*k)
+	bTile := make([]float32, k*cols)
+	var cycles int64
+	for r0 := 0; r0 < m; r0 += rows {
+		tr := min(rows, m-r0)
+		// Zero-padded A tile.
+		for i := range aTile {
+			aTile[i] = 0
+		}
+		for r := 0; r < tr; r++ {
+			copy(aTile[r*k:(r+1)*k], a.Data()[(r0+r)*k:(r0+r+1)*k])
+		}
+		for c0 := 0; c0 < n; c0 += cols {
+			tc := min(cols, n-c0)
+			for i := range bTile {
+				bTile[i] = 0
+			}
+			for kk := 0; kk < k; kk++ {
+				copy(bTile[kk*cols:kk*cols+tc], b.Data()[kk*n+c0:kk*n+c0+tc])
+			}
+			tileOut, tileCycles, elems := runTile(mesh, aTile, bTile, k, tr, tc)
+			cycles += tileCycles
+			st.DNElements += elems
+			st.InputLoads += elems
+			st.AccumWrites += int64(tr) * int64(tc)
+			st.Steps++
+			for r := 0; r < tr; r++ {
+				for c := 0; c < tc; c++ {
+					out.Set(tileOut[r*cols+c], r0+r, c0+c)
+				}
+			}
+		}
+	}
+	st.Cycles = cycles
+	return out, st, nil
+}
+
+// runTile drives the mesh through one output tile and returns the
+// accumulators, the cycles consumed and the edge elements delivered.
+func runTile(mesh *fabric.SystolicMesh, aTile, bTile []float32, k, tr, tc int) ([]float32, int64, int64) {
+	outs, cycles := mesh.MultiplyTile(aTile, bTile, k)
+	// Edge traffic: each of the tr active rows and tc active columns
+	// receives k operands over the run.
+	elems := int64(k) * int64(tr+tc)
+	return outs, cycles, elems
+}
+
+// Dense executes a fully connected layer: input [M, K] × weights [S, K] →
+// [M, S]. The TPU multiplies data × weightsᵀ.
+func (e *Engine) Dense(in, weights *tensor.Tensor) (*tensor.Tensor, stats.Stats, error) {
+	if in.Rank() != 2 || weights.Rank() != 2 {
+		return nil, stats.Stats{}, fmt.Errorf("tpu: dense requires 2-D input and weights, got %v and %v", in.Shape(), weights.Shape())
+	}
+	if in.Dim(1) != weights.Dim(1) {
+		return nil, stats.Stats{}, fmt.Errorf("tpu: dense reduction mismatch: input %v vs weights %v", in.Shape(), weights.Shape())
+	}
+	return e.GEMM(in, weights.Transpose(1, 0))
+}

@@ -1,0 +1,144 @@
+package tpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stonne/config"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(config.Default(config.TPUOSDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineRejectsWrongController(t *testing.T) {
+	if _, err := NewEngine(config.Default(config.MAERIDenseWorkload)); err == nil {
+		t.Fatal("MAERI config must be rejected")
+	}
+}
+
+func TestNewEngineNormalizesBandwidths(t *testing.T) {
+	cfg := config.Default(config.TPUOSDense)
+	cfg.DNBandwidth = 512 // wrong on purpose: Bifrost corrects it
+	if _, err := NewEngine(cfg); err != nil {
+		t.Fatalf("engine should normalise TPU bandwidths: %v", err)
+	}
+}
+
+func TestGEMMCorrectExactTiles(t *testing.T) {
+	e := newEngine(t) // 8×8 mesh
+	a := tensor.RandomUniform(1, 1, 8, 20)
+	b := tensor.RandomUniform(2, 1, 20, 8)
+	got, st, err := e.GEMM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(tensor.GEMM(a, b), got, 1e-3) {
+		t.Fatalf("TPU GEMM wrong: max diff %v", tensor.MaxAbsDiff(tensor.GEMM(a, b), got))
+	}
+	// One tile: k + rows + cols − 2 + 1 cycles.
+	if want := int64(20 + 8 + 8 - 2 + 1); st.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", st.Cycles, want)
+	}
+	if st.Steps != 1 {
+		t.Fatalf("steps = %d, want 1 tile", st.Steps)
+	}
+}
+
+func TestGEMMCorrectRaggedTiles(t *testing.T) {
+	e := newEngine(t)
+	// 11×23 output: 2×3 = 6 partial tiles on an 8×8 mesh.
+	a := tensor.RandomUniform(3, 1, 11, 13)
+	b := tensor.RandomUniform(4, 1, 13, 23)
+	got, st, err := e.GEMM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(tensor.GEMM(a, b), got, 1e-3) {
+		t.Fatal("ragged-tile TPU GEMM wrong")
+	}
+	if st.Steps != 6 {
+		t.Fatalf("steps = %d, want 6 tiles", st.Steps)
+	}
+}
+
+func TestGEMMProperty(t *testing.T) {
+	e := newEngine(t)
+	f := func(seed int64) bool {
+		m := 1 + int(uint(seed)%20)
+		k := 1 + int(uint(seed>>8)%25)
+		n := 1 + int(uint(seed>>16)%20)
+		a := tensor.RandomUniform(seed, 1, m, k)
+		b := tensor.RandomUniform(seed+1, 1, k, n)
+		got, _, err := e.GEMM(a, b)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(tensor.GEMM(a, b), got, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGEMMValidation(t *testing.T) {
+	e := newEngine(t)
+	if _, _, err := e.GEMM(tensor.New(2, 3), tensor.New(4, 2)); err == nil {
+		t.Fatal("inner dim mismatch must be rejected")
+	}
+	if _, _, err := e.GEMM(tensor.New(6), tensor.New(6, 1)); err == nil {
+		t.Fatal("1-D operand must be rejected")
+	}
+}
+
+func TestDenseMatchesTopi(t *testing.T) {
+	e := newEngine(t)
+	in := tensor.RandomUniform(1, 1, 2, 40)
+	w := tensor.RandomUniform(2, 1, 24, 40)
+	want, err := topi.Dense(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.Dense(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(want, got, 1e-3) {
+		t.Fatalf("TPU dense wrong: max diff %v", tensor.MaxAbsDiff(want, got))
+	}
+	if _, _, err := e.Dense(in, tensor.New(24, 41)); err == nil {
+		t.Fatal("reduction mismatch must be rejected")
+	}
+}
+
+func TestBiggerMeshFewerCycles(t *testing.T) {
+	small, err := NewEngine(func() config.HWConfig {
+		c := config.Default(config.TPUOSDense)
+		c.MSRows, c.MSCols = 4, 4
+		return c.Normalize()
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := newEngine(t) // 8×8
+	a := tensor.RandomUniform(1, 1, 32, 32)
+	b := tensor.RandomUniform(2, 1, 32, 32)
+	_, stSmall, err := small.GEMM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stBig, err := big.GEMM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stBig.Cycles >= stSmall.Cycles {
+		t.Fatalf("8×16 mesh (%d cycles) must beat 4×4 (%d cycles)", stBig.Cycles, stSmall.Cycles)
+	}
+}

@@ -1,0 +1,202 @@
+package tensor
+
+import "fmt"
+
+// GEMM computes C = A × B for 2-D tensors A (M×K) and B (K×N).
+// This is the reference matrix multiply used by the CPU target and by the
+// GEMM lowering of convolutions for the SIGMA and TPU architectures.
+func GEMM(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: GEMM requires 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: GEMM inner dimensions differ: %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	// ikj loop order: streams B rows, vectorises well, no bounds surprises.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// GEMMBlocked computes C = A × B with cache blocking. Results are bitwise
+// identical in structure to GEMM only up to float summation order, so the
+// two are compared with a tolerance in tests.
+func GEMMBlocked(a, b *Tensor, block int) *Tensor {
+	if block <= 0 {
+		block = 64
+	}
+	m, k := a.shape[0], a.shape[1]
+	_, n := b.shape[0], b.shape[1]
+	out := New(m, n)
+	for ii := 0; ii < m; ii += block {
+		iMax := min(ii+block, m)
+		for pp := 0; pp < k; pp += block {
+			pMax := min(pp+block, k)
+			for i := ii; i < iMax; i++ {
+				crow := out.data[i*n : (i+1)*n]
+				for p := pp; p < pMax; p++ {
+					av := a.data[i*k+p]
+					if av == 0 {
+						continue
+					}
+					brow := b.data[p*n : (p+1)*n]
+					for j := range crow {
+						crow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvDims describes the geometry of a 2-D convolution using the Nvidia
+// parameter taxonomy from Table II of the paper.
+type ConvDims struct {
+	N, C, H, W     int // input: batch, channels, rows, cols
+	K, R, S        int // kernel: output channels, rows, cols
+	G              int // groups
+	StrideH        int
+	StrideW        int
+	PadH, PadW     int
+	DilationH      int
+	DilationW      int
+	outP, outQ     int
+	outputResolved bool
+}
+
+// Resolve fills derived fields and validates the geometry.
+func (d *ConvDims) Resolve() error {
+	if d.G == 0 {
+		d.G = 1
+	}
+	if d.StrideH == 0 {
+		d.StrideH = 1
+	}
+	if d.StrideW == 0 {
+		d.StrideW = 1
+	}
+	if d.DilationH == 0 {
+		d.DilationH = 1
+	}
+	if d.DilationW == 0 {
+		d.DilationW = 1
+	}
+	switch {
+	case d.N <= 0 || d.C <= 0 || d.H <= 0 || d.W <= 0:
+		return fmt.Errorf("tensor: invalid conv input dims N=%d C=%d H=%d W=%d", d.N, d.C, d.H, d.W)
+	case d.K <= 0 || d.R <= 0 || d.S <= 0:
+		return fmt.Errorf("tensor: invalid conv kernel dims K=%d R=%d S=%d", d.K, d.R, d.S)
+	case d.C%d.G != 0 || d.K%d.G != 0:
+		return fmt.Errorf("tensor: groups G=%d must divide C=%d and K=%d", d.G, d.C, d.K)
+	}
+	effR := (d.R-1)*d.DilationH + 1
+	effS := (d.S-1)*d.DilationW + 1
+	d.outP = (d.H+2*d.PadH-effR)/d.StrideH + 1
+	d.outQ = (d.W+2*d.PadW-effS)/d.StrideW + 1
+	if d.outP <= 0 || d.outQ <= 0 {
+		return fmt.Errorf("tensor: conv output would be empty (P=%d Q=%d)", d.outP, d.outQ)
+	}
+	d.outputResolved = true
+	return nil
+}
+
+// P returns the number of output rows. Resolve must have been called.
+func (d *ConvDims) P() int {
+	if !d.outputResolved {
+		if err := d.Resolve(); err != nil {
+			panic(err)
+		}
+	}
+	return d.outP
+}
+
+// Q returns the number of output columns. Resolve must have been called.
+func (d *ConvDims) Q() int {
+	if !d.outputResolved {
+		if err := d.Resolve(); err != nil {
+			panic(err)
+		}
+	}
+	return d.outQ
+}
+
+// MACs returns the total multiply-accumulate count of the convolution.
+func (d *ConvDims) MACs() int64 {
+	return int64(d.N) * int64(d.K) * int64(d.P()) * int64(d.Q()) *
+		int64(d.R) * int64(d.S) * int64(d.C/d.G)
+}
+
+// Im2Col lowers an NCHW input tensor to the (C/G·R·S) × (N·P·Q) matrix used
+// by GEMM convolution, for a single group g.
+func Im2Col(in *Tensor, d ConvDims, g int) *Tensor {
+	if err := d.Resolve(); err != nil {
+		panic(err)
+	}
+	cg := d.C / d.G
+	p, q := d.P(), d.Q()
+	rows := cg * d.R * d.S
+	cols := d.N * p * q
+	out := New(rows, cols)
+	for c := 0; c < cg; c++ {
+		ic := g*cg + c
+		for r := 0; r < d.R; r++ {
+			for s := 0; s < d.S; s++ {
+				row := (c*d.R+r)*d.S + s
+				dst := out.data[row*cols:]
+				col := 0
+				for n := 0; n < d.N; n++ {
+					for y := 0; y < p; y++ {
+						iy := y*d.StrideH - d.PadH + r*d.DilationH
+						for x := 0; x < q; x++ {
+							ix := x*d.StrideW - d.PadW + s*d.DilationW
+							var v float32
+							if iy >= 0 && iy < d.H && ix >= 0 && ix < d.W {
+								v = in.At(n, ic, iy, ix)
+							}
+							dst[col] = v
+							col++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KernelMatrix flattens a KCRS kernel into the (K/G) × (C/G·R·S) matrix used
+// by GEMM convolution, for a single group g.
+func KernelMatrix(kernel *Tensor, d ConvDims, g int) *Tensor {
+	kg := d.K / d.G
+	cg := d.C / d.G
+	rows := kg
+	cols := cg * d.R * d.S
+	out := New(rows, cols)
+	for k := 0; k < kg; k++ {
+		ok := g*kg + k
+		for c := 0; c < cg; c++ {
+			for r := 0; r < d.R; r++ {
+				for s := 0; s < d.S; s++ {
+					out.Set(kernel.At(ok, c, r, s), k, (c*d.R+r)*d.S+s)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import "fmt"
+
+// Layout identifies the memory ordering of a 4-D activation or kernel
+// tensor, following the taxonomy in §V-B of the Bifrost paper.
+type Layout string
+
+// Activation and kernel layouts supported by the STONNE-Bifrost API.
+// NCHW/KCRS are the PyTorch defaults; NHWC/RSCK the TensorFlow defaults.
+const (
+	NCHW Layout = "NCHW"
+	NHWC Layout = "NHWC"
+	KCRS Layout = "KCRS"
+	RSCK Layout = "RSCK"
+)
+
+// KernelFor returns the kernel layout conventionally paired with an
+// activation layout (NCHW→KCRS, NHWC→RSCK).
+func KernelFor(l Layout) (Layout, error) {
+	switch l {
+	case NCHW:
+		return KCRS, nil
+	case NHWC:
+		return RSCK, nil
+	}
+	return "", fmt.Errorf("tensor: no kernel layout paired with %q", l)
+}
+
+// Transpose returns a new tensor with dimensions permuted by perm, so that
+// out.shape[i] == t.shape[perm[i]].
+func (t *Tensor) Transpose(perm ...int) *Tensor {
+	r := t.Rank()
+	if len(perm) != r {
+		panic(fmt.Sprintf("tensor: permutation %v does not match rank %d", perm, r))
+	}
+	seen := make([]bool, r)
+	outShape := make([]int, r)
+	for i, p := range perm {
+		if p < 0 || p >= r || seen[p] {
+			panic(fmt.Sprintf("tensor: invalid permutation %v", perm))
+		}
+		seen[p] = true
+		outShape[i] = t.shape[p]
+	}
+	out := New(outShape...)
+	// Strides of the input, row-major.
+	inStride := make([]int, r)
+	s := 1
+	for i := r - 1; i >= 0; i-- {
+		inStride[i] = s
+		s *= t.shape[i]
+	}
+	// Walk output in row-major order, computing the source offset.
+	idx := make([]int, r)
+	for o := range out.data {
+		src := 0
+		for i := 0; i < r; i++ {
+			src += idx[i] * inStride[perm[i]]
+		}
+		out.data[o] = t.data[src]
+		for i := r - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < outShape[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+// NCHWToNHWC converts an activation tensor from NCHW to NHWC.
+func NCHWToNHWC(t *Tensor) *Tensor { return t.Transpose(0, 2, 3, 1) }
+
+// NHWCToNCHW converts an activation tensor from NHWC to NCHW.
+func NHWCToNCHW(t *Tensor) *Tensor { return t.Transpose(0, 3, 1, 2) }
+
+// KCRSToRSCK converts a kernel tensor from KCRS to RSCK.
+func KCRSToRSCK(t *Tensor) *Tensor { return t.Transpose(2, 3, 1, 0) }
+
+// RSCKToKCRS converts a kernel tensor from RSCK to KCRS.
+func RSCKToKCRS(t *Tensor) *Tensor { return t.Transpose(3, 2, 0, 1) }
+
+// NPQKToNKPQ converts a simulator output (NPQK, the MAERI native order) back
+// to the NKPQ (= NCHW) order expected by the graph executor.
+func NPQKToNKPQ(t *Tensor) *Tensor { return t.Transpose(0, 3, 1, 2) }
+
+// NKPQToNPQK converts an NCHW-style output to the MAERI NPQK order.
+func NKPQToNPQK(t *Tensor) *Tensor { return t.Transpose(0, 2, 3, 1) }
+
+// Pad2D zero-pads the two spatial dimensions of a 4-D NCHW tensor by padH
+// rows on top/bottom and padW columns on left/right.
+func Pad2D(t *Tensor, padH, padW int) *Tensor {
+	if t.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Pad2D requires a 4-D tensor, got %v", t.shape))
+	}
+	if padH == 0 && padW == 0 {
+		return t.Clone()
+	}
+	n, c, h, w := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+	out := New(n, c, h+2*padH, w+2*padW)
+	oh, ow := h+2*padH, w+2*padW
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			srcBase := (in*c + ic) * h * w
+			dstBase := (in*c+ic)*oh*ow + padH*ow + padW
+			for y := 0; y < h; y++ {
+				copy(out.data[dstBase+y*ow:dstBase+y*ow+w], t.data[srcBase+y*w:srcBase+(y+1)*w])
+			}
+		}
+	}
+	return out
+}
+
+// Pad2DNHWC zero-pads the spatial dimensions of an NHWC tensor.
+func Pad2DNHWC(t *Tensor, padH, padW int) *Tensor {
+	if t.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Pad2DNHWC requires a 4-D tensor, got %v", t.shape))
+	}
+	if padH == 0 && padW == 0 {
+		return t.Clone()
+	}
+	return NCHWToNHWC(Pad2D(NHWCToNCHW(t), padH, padW))
+}

@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RandomUniform fills a new tensor of the given shape with values uniformly
+// distributed in [-scale, scale), using a deterministic seed.
+func RandomUniform(seed int64, scale float32, shape ...int) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return t
+}
+
+// RandomNormal fills a new tensor with N(0, stddev²) values, deterministic
+// per seed. This is the default weight initialisation for the model zoo.
+func RandomNormal(seed int64, stddev float32, shape ...int) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64()) * stddev
+	}
+	return t
+}
+
+// Prune zeroes the smallest-magnitude elements of t in place until the given
+// fraction (in [0,1]) of elements is zero. This is the magnitude pruning
+// used to realise SIGMA's sparsity_ratio configuration: the paper evaluates
+// SIGMA "with different levels of pruning" (§VIII-A).
+func Prune(t *Tensor, fraction float64) {
+	if fraction <= 0 {
+		return
+	}
+	if fraction >= 1 {
+		t.Fill(0)
+		return
+	}
+	n := len(t.data)
+	target := int(math.Round(fraction * float64(n)))
+	if target <= 0 {
+		return
+	}
+	mags := make([]float64, n)
+	for i, v := range t.data {
+		mags[i] = math.Abs(float64(v))
+	}
+	sorted := append([]float64(nil), mags...)
+	sort.Float64s(sorted)
+	threshold := sorted[target-1]
+	zeroed := 0
+	// First pass: zero strictly-below-threshold elements.
+	for i := range t.data {
+		if mags[i] < threshold {
+			t.data[i] = 0
+			zeroed++
+		}
+	}
+	// Second pass: break ties at the threshold deterministically, in index
+	// order, until the target count is reached.
+	for i := range t.data {
+		if zeroed >= target {
+			break
+		}
+		if t.data[i] != 0 && mags[i] == threshold {
+			t.data[i] = 0
+			zeroed++
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package tensor provides the dense float32 tensor type underlying the
+// whole Bifrost stack: the graph executor, the CPU operator library and the
+// STONNE simulator all exchange data as *tensor.Tensor values.
+//
+// The package is deliberately small and allocation-transparent: a Tensor is
+// a shape plus a flat []float32 in row-major order. All layout conversions
+// (NCHW/NHWC, KCRS/RSCK), padding and the im2col lowering used for
+// GEMM-based convolution live here.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-initialised tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromData wraps an existing slice in a tensor. The slice is used directly
+// (not copied). It panics if the length does not match the shape.
+func FromData(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Shape returns the tensor's shape. The returned slice must not be modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the underlying flat storage in row-major order.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing storage with t but with a new shape.
+// The element count must be preserved.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// offset computes the flat index for the given coordinates.
+func (t *Tensor) offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, v := range idx {
+		if v < 0 || v >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + v
+	}
+	return off
+}
+
+// At returns the element at the given coordinates.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx...)] }
+
+// Set stores v at the given coordinates.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx...)] = v }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// ShapeEq reports whether two shapes are identical.
+func ShapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between a
+// and b. It panics if the shapes differ.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !ShapeEq(a.shape, b.shape) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	var m float64
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AllClose reports whether every element of a and b differs by at most tol,
+// measured as |x-y| <= tol * max(1, |x|, |y|).
+func AllClose(a, b *Tensor, tol float64) bool {
+	if !ShapeEq(a.shape, b.shape) {
+		return false
+	}
+	for i := range a.data {
+		x, y := float64(a.data[i]), float64(b.data[i])
+		scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+		if math.Abs(x-y) > tol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short description, e.g. "Tensor[1 3 224 224]".
+func (t *Tensor) String() string {
+	parts := make([]string, len(t.shape))
+	for i, d := range t.shape {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "Tensor[" + strings.Join(parts, " ") + "]"
+}
+
+// NNZ returns the number of nonzero elements.
+func (t *Tensor) NNZ() int {
+	n := 0
+	for _, v := range t.data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of zero elements in [0,1].
+func (t *Tensor) Sparsity() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return 1 - float64(t.NNZ())/float64(len(t.data))
+}

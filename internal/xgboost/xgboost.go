@@ -1,0 +1,238 @@
+// Package xgboost implements gradient-boosted regression trees from
+// scratch: the learned cost model behind Bifrost's XGBTuner, standing in
+// for the XGBoost library (Chen & Guestrin, KDD 2016) that AutoTVM uses.
+// The implementation is a classic exact-greedy GBT: squared-error loss,
+// depth-limited regression trees fit to residuals, shrinkage, and optional
+// per-tree feature/row subsampling for variance reduction.
+package xgboost
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Params configures training.
+type Params struct {
+	Rounds       int     // number of boosting rounds (trees)
+	LearningRate float64 // shrinkage applied to every tree's output
+	MaxDepth     int     // maximum tree depth
+	MinSamples   int     // minimum samples to attempt a split
+	Lambda       float64 // L2 regularisation on leaf values
+	SubsampleRow float64 // fraction of rows sampled per tree (0 or 1 = all)
+	Seed         int64
+}
+
+// DefaultParams mirrors the conservative settings AutoTVM uses for its
+// transfer cost model.
+func DefaultParams() Params {
+	return Params{Rounds: 50, LearningRate: 0.2, MaxDepth: 4, MinSamples: 2, Lambda: 1.0, SubsampleRow: 1.0}
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	value       float64
+	left, right int // child indices; -1 for leaves
+}
+
+// tree is a regression tree stored as a flat node arena.
+type tree struct{ nodes []node }
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Model is a trained gradient-boosted ensemble.
+type Model struct {
+	params Params
+	base   float64
+	trees  []tree
+}
+
+// Train fits a model to the rows of x (features) and targets y.
+func Train(x [][]float64, y []float64, p Params) (*Model, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("xgboost: need matching non-empty x (%d) and y (%d)", len(x), len(y))
+	}
+	dim := len(x[0])
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("xgboost: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	if p.Rounds <= 0 || p.MaxDepth <= 0 || p.LearningRate <= 0 {
+		return nil, fmt.Errorf("xgboost: invalid params %+v", p)
+	}
+	if p.MinSamples < 2 {
+		p.MinSamples = 2
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	var base float64
+	for _, v := range y {
+		base += v
+	}
+	base /= float64(len(y))
+
+	m := &Model{params: p, base: base}
+	residual := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = base
+	}
+	allRows := make([]int, len(y))
+	for i := range allRows {
+		allRows[i] = i
+	}
+	for round := 0; round < p.Rounds; round++ {
+		for i := range residual {
+			residual[i] = y[i] - pred[i]
+		}
+		rows := allRows
+		if p.SubsampleRow > 0 && p.SubsampleRow < 1 {
+			k := int(math.Ceil(p.SubsampleRow * float64(len(y))))
+			perm := rng.Perm(len(y))[:k]
+			sort.Ints(perm)
+			rows = perm
+		}
+		t := buildTree(x, residual, rows, p, 0)
+		m.trees = append(m.trees, t)
+		for i := range pred {
+			pred[i] += p.LearningRate * t.predict(x[i])
+		}
+	}
+	return m, nil
+}
+
+// buildTree greedily grows one regression tree on the given rows.
+func buildTree(x [][]float64, target []float64, rows []int, p Params, _ int) tree {
+	t := tree{}
+	var grow func(rows []int, depth int) int
+	grow = func(rows []int, depth int) int {
+		idx := len(t.nodes)
+		t.nodes = append(t.nodes, node{feature: -1, left: -1, right: -1})
+		var sum float64
+		for _, r := range rows {
+			sum += target[r]
+		}
+		// Regularised leaf value.
+		t.nodes[idx].value = sum / (float64(len(rows)) + p.Lambda)
+		if depth >= p.MaxDepth || len(rows) < p.MinSamples {
+			return idx
+		}
+		feature, threshold, ok := bestSplit(x, target, rows, p)
+		if !ok {
+			return idx
+		}
+		var left, right []int
+		for _, r := range rows {
+			if x[r][feature] <= threshold {
+				left = append(left, r)
+			} else {
+				right = append(right, r)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			return idx
+		}
+		t.nodes[idx].feature = feature
+		t.nodes[idx].threshold = threshold
+		t.nodes[idx].left = grow(left, depth+1)
+		t.nodes[idx].right = grow(right, depth+1)
+		return idx
+	}
+	grow(rows, 0)
+	return t
+}
+
+// bestSplit scans every feature for the exact split minimising the
+// regularised squared-error objective (maximum variance-reduction gain).
+func bestSplit(x [][]float64, target []float64, rows []int, p Params) (int, float64, bool) {
+	dim := len(x[0])
+	var total, totalSq float64
+	for _, r := range rows {
+		total += target[r]
+		totalSq += target[r] * target[r]
+	}
+	n := float64(len(rows))
+	parentScore := total * total / (n + p.Lambda)
+
+	bestGain := 1e-12
+	bestFeature, bestThreshold, found := -1, 0.0, false
+
+	type fv struct{ v, t float64 }
+	vals := make([]fv, 0, len(rows))
+	for f := 0; f < dim; f++ {
+		vals = vals[:0]
+		for _, r := range rows {
+			vals = append(vals, fv{x[r][f], target[r]})
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+		var leftSum float64
+		for i := 0; i < len(vals)-1; i++ {
+			leftSum += vals[i].t
+			if vals[i].v == vals[i+1].v {
+				continue // cannot split between equal values
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			rightSum := total - leftSum
+			gain := leftSum*leftSum/(nl+p.Lambda) + rightSum*rightSum/(nr+p.Lambda) - parentScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (vals[i].v + vals[i+1].v) / 2
+				found = true
+			}
+		}
+	}
+	return bestFeature, bestThreshold, found
+}
+
+// Predict returns the model's estimate for one feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	out := m.base
+	for i := range m.trees {
+		out += m.params.LearningRate * m.trees[i].predict(x)
+	}
+	return out
+}
+
+// PredictBatch returns estimates for many feature vectors.
+func (m *Model) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// MSE returns the mean squared error of the model on a dataset.
+func (m *Model) MSE(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, row := range x {
+		d := m.Predict(row) - y[i]
+		sum += d * d
+	}
+	return sum / float64(len(x))
+}
+
+// NumTrees returns the ensemble size.
+func (m *Model) NumTrees() int { return len(m.trees) }

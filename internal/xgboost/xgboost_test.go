@@ -1,0 +1,195 @@
+package xgboost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func dataset(n int, seed int64, f func([]float64) float64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		y[i] = f(x[i])
+	}
+	return x, y
+}
+
+func TestFitsConstant(t *testing.T) {
+	x, y := dataset(50, 1, func([]float64) float64 { return 7 })
+	m, err := Train(x, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := m.MSE(x, y); mse > 1e-3 {
+		t.Fatalf("constant target MSE = %v", mse)
+	}
+}
+
+func TestFitsLinear(t *testing.T) {
+	x, y := dataset(300, 2, func(v []float64) float64 { return 3*v[0] - 2*v[1] })
+	m, err := Train(x, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: predicting the mean.
+	var mean, varY float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		varY += (v - mean) * (v - mean)
+	}
+	varY /= float64(len(y))
+	if mse := m.MSE(x, y); mse > varY/10 {
+		t.Fatalf("linear fit MSE %v not ≪ variance %v", mse, varY)
+	}
+}
+
+func TestFitsInteraction(t *testing.T) {
+	// Tuning cost surfaces are highly non-linear; trees must capture x0·x1.
+	x, y := dataset(500, 3, func(v []float64) float64 { return v[0] * v[1] })
+	p := DefaultParams()
+	p.Rounds = 100
+	p.MaxDepth = 5
+	m, err := Train(x, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, varY float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		varY += (v - mean) * (v - mean)
+	}
+	varY /= float64(len(y))
+	if mse := m.MSE(x, y); mse > varY/5 {
+		t.Fatalf("interaction fit MSE %v not ≪ variance %v", mse, varY)
+	}
+}
+
+func TestMoreRoundsReduceTrainError(t *testing.T) {
+	x, y := dataset(200, 4, func(v []float64) float64 { return math.Sin(v[0]) * v[1] })
+	short := DefaultParams()
+	short.Rounds = 5
+	long := DefaultParams()
+	long.Rounds = 80
+	m1, err := Train(x, y, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(x, y, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.MSE(x, y) >= m1.MSE(x, y) {
+		t.Fatalf("80 rounds (%v) must beat 5 rounds (%v) on train MSE", m2.MSE(x, y), m1.MSE(x, y))
+	}
+}
+
+func TestGeneralisesToHeldOut(t *testing.T) {
+	x, y := dataset(400, 5, func(v []float64) float64 { return 2*v[0] + v[1]*v[1] })
+	xTest, yTest := dataset(100, 6, func(v []float64) float64 { return 2*v[0] + v[1]*v[1] })
+	m, err := Train(x, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, varY float64
+	for _, v := range yTest {
+		mean += v
+	}
+	mean /= float64(len(yTest))
+	for _, v := range yTest {
+		varY += (v - mean) * (v - mean)
+	}
+	varY /= float64(len(yTest))
+	if mse := m.MSE(xTest, yTest); mse > varY/2 {
+		t.Fatalf("held-out MSE %v not better than mean predictor %v", mse, varY)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	x, y := dataset(50, 7, func(v []float64) float64 { return v[2] })
+	m, err := Train(x, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictBatch(x[:5])
+	for i, row := range x[:5] {
+		if batch[i] != m.Predict(row) {
+			t.Fatal("batch and single predictions must agree")
+		}
+	}
+}
+
+func TestSubsampling(t *testing.T) {
+	x, y := dataset(200, 8, func(v []float64) float64 { return v[0] })
+	p := DefaultParams()
+	p.SubsampleRow = 0.5
+	p.Seed = 42
+	m, err := Train(x, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() != p.Rounds {
+		t.Fatalf("trees = %d, want %d", m.NumTrees(), p.Rounds)
+	}
+	if mse := m.MSE(x, y); mse > 2 {
+		t.Fatalf("subsampled fit too poor: MSE %v", mse)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	x, y := dataset(100, 9, func(v []float64) float64 { return v[0] + v[1] })
+	p := DefaultParams()
+	p.SubsampleRow = 0.7
+	p.Seed = 5
+	m1, _ := Train(x, y, p)
+	m2, _ := Train(x, y, p)
+	for i := range x {
+		if m1.Predict(x[i]) != m2.Predict(x[i]) {
+			t.Fatal("same seed must give identical models")
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultParams()); err == nil {
+		t.Fatal("empty dataset must be rejected")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, DefaultParams()); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []float64{1, 2}, DefaultParams()); err == nil {
+		t.Fatal("ragged features must be rejected")
+	}
+	p := DefaultParams()
+	p.Rounds = 0
+	if _, err := Train([][]float64{{1}, {2}}, []float64{1, 2}, p); err == nil {
+		t.Fatal("zero rounds must be rejected")
+	}
+}
+
+func TestSingleFeatureStep(t *testing.T) {
+	// A step function needs only one split.
+	x := [][]float64{{1}, {2}, {3}, {10}, {11}, {12}}
+	y := []float64{0, 0, 0, 5, 5, 5}
+	p := DefaultParams()
+	p.Rounds = 30
+	p.Lambda = 0.1
+	m, err := Train(x, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Predict([]float64{2.5})-0) > 0.5 {
+		t.Fatalf("left side predicts %v", m.Predict([]float64{2.5}))
+	}
+	if math.Abs(m.Predict([]float64{11})-5) > 0.5 {
+		t.Fatalf("right side predicts %v", m.Predict([]float64{11}))
+	}
+}
