@@ -16,10 +16,13 @@ package bifrost
 
 import (
 	"io"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/farm"
 	"repro/internal/stonne/config"
 	"repro/internal/stonne/maeri"
 	"repro/internal/stonne/mapping"
@@ -33,7 +36,7 @@ import (
 // conv and FC panels (paper: ~44% and ~54%).
 func BenchmarkFig9SigmaSparsity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Fig9(bench.Mini, 1)
+		rows, err := bench.Fig9(nil, bench.Mini, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +61,7 @@ func BenchmarkFig9SigmaSparsity(b *testing.B) {
 // 8-vs-128-multiplier optimal ratio (paper: ~12×).
 func BenchmarkFig10MappingGap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Fig10([]int{8, 16, 32, 64, 128})
+		rows, err := bench.Fig10(nil, []int{8, 16, 32, 64, 128})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +76,7 @@ func mappingStudy(b *testing.B) []bench.MappingRow {
 	opts := bench.DefaultTuneOptions()
 	opts.Trials = 300
 	opts.EarlyStopping = 80
-	rows, err := bench.MappingStudy(bench.Mini, opts)
+	rows, err := bench.MappingStudy(nil, bench.Mini, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -143,6 +146,71 @@ func BenchmarkFig12MappingComparison(b *testing.B) {
 		// Render once to exercise the full reporting path.
 		bench.RenderFig12(io.Discard, rows)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Simulation-farm benchmarks: the AutoTVM tuning path, serial vs farmed.
+
+// BenchmarkFarmTuningSpeedup runs the Figure 10 cycle-target searches
+// serially and through the simulation farm, asserts the curves are
+// identical, and reports the wall-clock speedup plus the cache hit rate of
+// a repeated sweep (the /stats metrics of bifrost-serve).
+func BenchmarkFarmTuningSpeedup(b *testing.B) {
+	ms := []int{8, 16, 32, 64, 128}
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		serialRows, err := bench.Fig10(nil, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialTime := time.Since(start)
+
+		fm := farm.New(0) // GOMAXPROCS workers
+		start = time.Now()
+		farmedRows, err := bench.Fig10(fm, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		farmedTime := time.Since(start)
+		if !reflect.DeepEqual(serialRows, farmedRows) {
+			b.Fatal("farmed Figure 10 rows diverged from the serial rows")
+		}
+
+		// Repeat the sweep on the warm farm: everything must hit the cache.
+		start = time.Now()
+		if _, err := bench.Fig10(fm, ms); err != nil {
+			b.Fatal(err)
+		}
+		cachedTime := time.Since(start)
+		st := fm.Stats()
+		fm.Close()
+		if st.HitRate() == 0 {
+			b.Fatalf("repeated sweep had zero hit rate: %+v", st)
+		}
+		b.ReportMetric(float64(serialTime)/float64(farmedTime), "farm-speedup-x")
+		b.ReportMetric(float64(serialTime)/float64(cachedTime), "cached-speedup-x")
+		b.ReportMetric(100*st.HitRate(), "hit-rate-%")
+	}
+}
+
+// BenchmarkFarmEndToEndAlexNet measures a full AlexNet session through the
+// farm, where the second run is served from the result cache.
+func BenchmarkFarmEndToEndAlexNet(b *testing.B) {
+	fm := NewFarm(0)
+	defer fm.Close()
+	sess, err := NewSession(DefaultArchitecture(MAERI))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.WithFarm(fm)
+	feeds := map[string]*Tensor{"data": tensor.RandomUniform(1, 1, 1, 1, 28, 28)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Run(LeNet5(1), feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*fm.Stats().HitRate(), "hit-rate-%")
 }
 
 // ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ package bifrost
 import (
 	"repro/internal/autotune"
 	"repro/internal/core"
+	"repro/internal/farm"
 	"repro/internal/graph"
 	"repro/internal/importer"
 	"repro/internal/models"
@@ -78,6 +79,40 @@ func DefaultArchitecture(ct ControllerType) Architecture { return config.Default
 // configurations are rejected, "preventing developers from providing
 // invalid hardware configurations" (§VI).
 func NewSession(arch Architecture) (*Session, error) { return core.NewSession(arch) }
+
+// Farm is the concurrent simulation farm: a worker-pool scheduler with a
+// content-addressed result cache and single-flight deduplication. Share one
+// farm between sessions, tuners and the bifrost-serve service so identical
+// layer simulations are only ever run once:
+//
+//	fm := bifrost.NewFarm(0) // GOMAXPROCS workers
+//	defer fm.Close()
+//	sess, _ := bifrost.NewSession(arch)
+//	sess.WithFarm(fm)
+type Farm = farm.Farm
+
+// FarmStats is a snapshot of a farm's scheduler and cache counters (the
+// payload of bifrost-serve's /stats endpoint).
+type FarmStats = farm.Stats
+
+// NewFarm returns a running simulation farm; workers <= 0 selects
+// GOMAXPROCS.
+func NewFarm(workers int) *Farm { return farm.New(workers) }
+
+// NewTensor returns a zero-initialised tensor with the given shape — the
+// constructor external callers need to build feeds, since the tensor
+// implementation lives in an internal package.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromData wraps an existing row-major slice in a tensor (the slice
+// is used directly, not copied).
+func TensorFromData(data []float32, shape ...int) *Tensor { return tensor.FromData(data, shape...) }
+
+// RandomTensor returns a seeded uniform random tensor, the deterministic
+// input generator used throughout the benchmarks and the serve API.
+func RandomTensor(seed int64, scale float32, shape ...int) *Tensor {
+	return tensor.RandomUniform(seed, scale, shape...)
+}
 
 // BasicConvMapping returns the automatically generated all-ones mapping.
 func BasicConvMapping() ConvMapping { return mapping.Basic() }

@@ -17,21 +17,24 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/farm"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bifrost-bench: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, fig9, fig10, fig11, table6, fig12, ablation")
-		full   = flag.Bool("full", false, "use the paper's full AlexNet layers (slow) instead of mini")
-		csvDir = flag.String("csv", "", "also write CSV files into this directory")
-		trials = flag.Int("trials", 600, "AutoTVM trial budget for fig11/table6/fig12")
-		seed   = flag.Int64("seed", 1, "seed for weights and searches")
+		exp     = flag.String("exp", "all", "experiment: all, fig9, fig10, fig11, table6, fig12, ablation")
+		full    = flag.Bool("full", false, "use the paper's full AlexNet layers (slow) instead of mini")
+		csvDir  = flag.String("csv", "", "also write CSV files into this directory")
+		trials  = flag.Int("trials", 600, "AutoTVM trial budget for fig11/table6/fig12")
+		seed    = flag.Int64("seed", 1, "seed for weights and searches")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation-farm workers; 0 runs every experiment serially")
 	)
 	flag.Parse()
 
@@ -41,7 +44,14 @@ func main() {
 		scale = bench.Full
 		scaleName = "full AlexNet"
 	}
-	fmt.Printf("Bifrost evaluation harness — %s workloads\n\n", scaleName)
+	var fm *farm.Farm
+	farmName := "serial"
+	if *workers > 0 {
+		fm = farm.New(*workers)
+		defer fm.Close()
+		farmName = fmt.Sprintf("%d-worker farm", fm.Workers())
+	}
+	fmt.Printf("Bifrost evaluation harness — %s workloads, %s\n\n", scaleName, farmName)
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			log.Fatal(err)
@@ -58,7 +68,7 @@ func main() {
 		opts.Trials = *trials
 		opts.Seed = *seed
 		start := time.Now()
-		rows, err := bench.MappingStudy(scale, opts)
+		rows, err := bench.MappingStudy(fm, scale, opts)
 		if err != nil {
 			log.Fatalf("mapping study: %v", err)
 		}
@@ -69,7 +79,7 @@ func main() {
 
 	if want("fig9") {
 		start := time.Now()
-		rows, err := bench.Fig9(scale, *seed)
+		rows, err := bench.Fig9(fm, scale, *seed)
 		if err != nil {
 			log.Fatalf("fig9: %v", err)
 		}
@@ -83,7 +93,7 @@ func main() {
 	}
 	if want("fig10") {
 		start := time.Now()
-		rows, err := bench.Fig10(nil)
+		rows, err := bench.Fig10(fm, nil)
 		if err != nil {
 			log.Fatalf("fig10: %v", err)
 		}

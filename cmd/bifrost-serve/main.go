@@ -1,0 +1,59 @@
+// Command bifrost-serve exposes the simulation farm as a batch service: an
+// HTTP + JSON-lines API for running layer simulations concurrently with
+// content-addressed result caching, so sweep clients (and repeated
+// identical requests from different clients) never simulate the same
+// configuration twice.
+//
+// Usage:
+//
+//	bifrost-serve -addr :8087 -workers 8
+//
+//	# one simulation
+//	curl -s localhost:8087/simulate -d '{
+//	  "arch": {"controller": "maeri", "ms_size": 128},
+//	  "op": "conv2d",
+//	  "conv": {"c": 2, "h": 10, "k": 4, "r": 3},
+//	  "mapping": [3, 3, 1, 2, 1, 1, 1, 1],
+//	  "seed": 1
+//	}'
+//
+//	# a sweep as JSON lines, one job per line
+//	curl -s localhost:8087/batch -H 'Content-Type: application/x-ndjson' \
+//	  --data-binary @sweep.ndjson
+//
+//	# scheduler + cache metrics
+//	curl -s localhost:8087/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bifrost-serve: ")
+	var (
+		addr    = flag.String("addr", ":8087", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation-farm workers")
+	)
+	flag.Parse()
+
+	fm := farm.New(*workers)
+	defer fm.Close()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewServer(fm),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("serving on %s with %d workers", *addr, fm.Workers())
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -14,16 +14,20 @@ import (
 	"log"
 
 	"repro/internal/bench"
+	"repro/internal/farm"
 )
 
 func main() {
 	log.SetFlags(0)
 	d := bench.Fig10Conv()
 	fmt.Printf("workload: NCHW conv, 1×2×10×10 input, 3×3 kernel, K=%d (%d MACs)\n", d.K, d.MACs())
-	fmt.Println("exhaustive grid search of the whole mapping space per multiplier count")
+	fmt.Println("exhaustive grid search of the whole mapping space per multiplier count,")
+	fmt.Println("measured concurrently through the simulation farm")
 	fmt.Println()
 
-	rows, err := bench.Fig10([]int{8, 16, 32, 64, 128})
+	fm := farm.New(0) // GOMAXPROCS workers
+	defer fm.Close()
+	rows, err := bench.Fig10(fm, []int{8, 16, 32, 64, 128})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -135,6 +135,15 @@ type Result struct {
 	Converged bool
 }
 
+// Measurer evaluates whole batches of configurations, possibly
+// concurrently — e.g. through the simulation farm. Implementations must
+// return costs aligned with cfgs and must be deterministic per
+// configuration; the tuners then record results in submission order, which
+// keeps a batched search bit-identical to the serial one.
+type Measurer interface {
+	MeasureBatch(cfgs []Config) []Cost
+}
+
 // Options bound a tuning run.
 type Options struct {
 	// Trials is the measurement budget (ignored by GridSearch, which
@@ -144,7 +153,41 @@ type Options struct {
 	// improvement; 0 disables it.
 	EarlyStopping int
 	Seed          int64
+
+	// Measurer, when set, evaluates measurement batches (typically in
+	// parallel via the simulation farm); the per-config MeasureFunc is then
+	// only the serial fallback. Results are identical either way — only
+	// wall-clock time changes.
+	Measurer Measurer
 }
+
+// measureEach evaluates cfgs and feeds each cost to record in order,
+// stopping (and returning true) as soon as record asks to. With a Measurer
+// the whole batch is evaluated up front — possibly concurrently — and only
+// the recording stops early; without one, each configuration is measured
+// and recorded one at a time, so early stopping never pays for
+// measurements the serial tuners would not have run.
+func (o Options) measureEach(f MeasureFunc, cfgs []Config, record func(i int, c Cost) bool) bool {
+	if o.Measurer != nil {
+		for i, c := range o.Measurer.MeasureBatch(cfgs) {
+			if record(i, c) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, cfg := range cfgs {
+		if record(i, f(cfg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// measureChunk is the batch granularity the tuners use when a Measurer is
+// present; large enough to keep a worker pool busy, small enough that early
+// stopping does not overshoot by much.
+const measureChunk = 64
 
 // Tuner is a search strategy over a Space.
 type Tuner interface {
@@ -194,16 +237,20 @@ type GridSearch struct{}
 // Tune implements Tuner.
 func (GridSearch) Tune(space *Space, measure MeasureFunc, opts Options) (Result, error) {
 	tr := newTracker(0) // exhaustive: ignore early stopping and budget
-	var worst Trial
-	hasWorst := false
-	for i := int64(0); i < space.Size(); i++ {
-		cfg := space.At(i)
-		cost := measure(cfg)
-		tr.record(Trial{Config: cfg, Cost: cost})
-		if !cost.IsInfeasible() && (!hasWorst || worst.Cost.Less(cost)) {
-			worst = Trial{Config: cfg, Cost: cost}
-			hasWorst = true
+	size := space.Size()
+	for start := int64(0); start < size; start += measureChunk {
+		end := start + measureChunk
+		if end > size {
+			end = size
 		}
+		cfgs := make([]Config, 0, end-start)
+		for i := start; i < end; i++ {
+			cfgs = append(cfgs, space.At(i))
+		}
+		opts.measureEach(measure, cfgs, func(i int, cost Cost) bool {
+			tr.record(Trial{Config: cfgs[i], Cost: cost})
+			return false // exhaustive: never stop early
+		})
 	}
 	return tr.finish()
 }
@@ -238,18 +285,30 @@ func (RandomSearch) Tune(space *Space, measure MeasureFunc, opts Options) (Resul
 	tr := newTracker(opts.EarlyStopping)
 	seen := make(map[int64]bool)
 	size := space.Size()
-	for m := 0; m < opts.Trials && int64(len(seen)) < size; m++ {
-		var idx int64
-		for {
-			idx = rng.Int63n(size)
-			if !seen[idx] {
-				seen[idx] = true
-				break
-			}
+	for tr.result.Measured < opts.Trials && int64(len(seen)) < size {
+		// Draw the next chunk of unseen indices; the rng sequence is the
+		// same as drawing one at a time, so batched and serial runs record
+		// identical trial sequences.
+		chunk := opts.Trials - tr.result.Measured
+		if chunk > measureChunk {
+			chunk = measureChunk
 		}
-		cfg := space.At(idx)
-		if tr.record(Trial{Config: cfg, Cost: measure(cfg)}) {
-			break
+		cfgs := make([]Config, 0, chunk)
+		for len(cfgs) < chunk && int64(len(seen)) < size {
+			var idx int64
+			for {
+				idx = rng.Int63n(size)
+				if !seen[idx] {
+					seen[idx] = true
+					break
+				}
+			}
+			cfgs = append(cfgs, space.At(idx))
+		}
+		if opts.measureEach(measure, cfgs, func(i int, cost Cost) bool {
+			return tr.record(Trial{Config: cfgs[i], Cost: cost})
+		}) {
+			return tr.finish()
 		}
 	}
 	return tr.finish()

@@ -159,6 +159,9 @@ func TestGATunerBeatsRandomOnStructuredSurface(t *testing.T) {
 }
 
 func TestXGBTunerFindsGoodConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("300 model-guided trials take ~0.1s")
+	}
 	opts := Options{Trials: 300, Seed: 11}
 	xgb, err := XGBTuner{}.Tune(bigSpace(), ridgeCost, opts)
 	if err != nil {

@@ -52,28 +52,61 @@ func (g GATuner) Tune(space *Space, measure MeasureFunc, opts Options) (Result, 
 		return genome
 	}
 	cache := make(map[string]Cost)
-	evaluate := func(genome []int) (Cost, bool) {
-		cfg := space.fromGenome(genome)
-		key := cfg.String()
-		if c, ok := cache[key]; ok {
-			return c, false
+	// evaluateBatch costs a slice of genomes: measurements happen as one
+	// batch (parallel under a Measurer), but results are recorded in genome
+	// order and duplicates resolve through the cache exactly as a
+	// one-at-a-time evaluation would, so the trial log is identical to the
+	// serial tuner's. Costs are aligned with genomes; stopped reports
+	// whether early stopping or the trial budget fired partway (the
+	// remaining costs are still filled, but never recorded).
+	evaluateBatch := func(genomes [][]int) (costs []Cost, stopped bool) {
+		costs = make([]Cost, len(genomes))
+		keys := make([]string, len(genomes))
+		var toMeasure []Config
+		var toMeasureKeys []string
+		pending := make(map[string]bool) // keys already queued in this batch
+		for i, g := range genomes {
+			cfg := space.fromGenome(g)
+			keys[i] = cfg.String()
+			if _, ok := cache[keys[i]]; ok || pending[keys[i]] {
+				continue
+			}
+			pending[keys[i]] = true
+			toMeasure = append(toMeasure, cfg)
+			toMeasureKeys = append(toMeasureKeys, keys[i])
 		}
-		c := measure(cfg)
-		cache[key] = c
-		stop := tr.record(Trial{Config: cfg, Cost: c})
-		return c, stop
+		// Never measure past the trial budget: everything beyond it could
+		// not be recorded anyway (the serial path stops itself via the
+		// record callback, but a batch Measurer would pay for the whole
+		// slice up front).
+		if remaining := opts.Trials - tr.result.Measured; len(toMeasure) > remaining {
+			toMeasure = toMeasure[:remaining]
+			toMeasureKeys = toMeasureKeys[:remaining]
+		}
+		// First occurrences appear in genome order, so recording in
+		// toMeasure order reproduces the serial tuner's trial log; cached
+		// duplicates never record, exactly as before.
+		stopped = opts.measureEach(measure, toMeasure, func(i int, c Cost) bool {
+			cache[toMeasureKeys[i]] = c
+			return tr.record(Trial{Config: toMeasure[i], Cost: c}) || tr.result.Measured >= opts.Trials
+		})
+		for i := range genomes {
+			// Zero-value costs for configs skipped by an early stop are
+			// never used: stopped ends the generation loop.
+			costs[i] = cache[keys[i]]
+		}
+		return costs, stopped
 	}
 
 	population := make([]individual, pop)
-	stopped := false
+	genomes := make([][]int, pop)
+	for i := range genomes {
+		genomes[i] = randGenome()
+		population[i].genome = genomes[i]
+	}
+	costs, stopped := evaluateBatch(genomes)
 	for i := range population {
-		population[i].genome = randGenome()
-		var stop bool
-		population[i].cost, stop = evaluate(population[i].genome)
-		if stop || tr.result.Measured >= opts.Trials {
-			stopped = true
-			break
-		}
+		population[i].cost = costs[i]
 	}
 	for !stopped && tr.result.Measured < opts.Trials {
 		sort.SliceStable(population, func(i, j int) bool { return population[i].cost.Less(population[j].cost) })
@@ -86,7 +119,8 @@ func (g GATuner) Tune(space *Space, measure MeasureFunc, opts Options) (Result, 
 			}
 			return b
 		}
-		for len(next) < pop {
+		children := make([][]int, 0, pop-len(next))
+		for n := len(next); n < pop; n++ {
 			p1, p2 := tournament(), tournament()
 			child := make([]int, len(space.Knobs))
 			for i := range child {
@@ -99,15 +133,11 @@ func (g GATuner) Tune(space *Space, measure MeasureFunc, opts Options) (Result, 
 					child[i] = rng.Intn(len(space.Knobs[i].Values))
 				}
 			}
-			cost, stop := evaluate(child)
-			next = append(next, individual{genome: child, cost: cost})
-			if stop || tr.result.Measured >= opts.Trials {
-				stopped = true
-				break
-			}
+			children = append(children, child)
 		}
-		for len(next) < pop {
-			next = append(next, population[len(next)])
+		costs, stopped = evaluateBatch(children)
+		for i, child := range children {
+			next = append(next, individual{genome: child, cost: costs[i]})
 		}
 		population = next
 	}
@@ -170,19 +200,26 @@ func (x XGBTuner) Tune(space *Space, measure MeasureFunc, opts Options) (Result,
 		return c.Primary + c.Secondary/(2*maxSecondary)
 	}
 
-	measureIdx := func(idx int64) bool {
-		seen[idx] = true
-		cfg := space.At(idx)
-		cost := measure(cfg)
-		stop := tr.record(Trial{Config: cfg, Cost: cost})
-		if !cost.IsInfeasible() {
-			if cost.Secondary > maxSecondary {
-				maxSecondary = cost.Secondary
-			}
-			features = append(features, featurize(cfg))
-			targets = append(targets, 0) // rewritten below, once maxSecondary is known
+	// measureIdxs costs a batch of already-reserved indices (parallel under
+	// a Measurer) and records the results in order, so the trial log is
+	// identical to measuring one index at a time. It returns true when
+	// early stopping fired.
+	measureIdxs := func(idxs []int64) bool {
+		cfgs := make([]Config, len(idxs))
+		for i, idx := range idxs {
+			cfgs[i] = space.At(idx)
 		}
-		return stop
+		return opts.measureEach(measure, cfgs, func(i int, cost Cost) bool {
+			stop := tr.record(Trial{Config: cfgs[i], Cost: cost})
+			if !cost.IsInfeasible() {
+				if cost.Secondary > maxSecondary {
+					maxSecondary = cost.Secondary
+				}
+				features = append(features, featurize(cfgs[i]))
+				targets = append(targets, 0) // rewritten below, once maxSecondary is known
+			}
+			return stop
+		})
 	}
 
 	randomUnseen := func() (int64, bool) {
@@ -204,14 +241,17 @@ func (x XGBTuner) Tune(space *Space, measure MeasureFunc, opts Options) (Result,
 	}
 
 	// Warm-up: two batches of random measurements.
-	for i := 0; i < 2*batch && tr.result.Measured < opts.Trials; i++ {
+	var warm []int64
+	for i := 0; i < 2*batch && tr.result.Measured+len(warm) < opts.Trials; i++ {
 		idx, ok := randomUnseen()
 		if !ok {
 			break
 		}
-		if measureIdx(idx) {
-			return tr.finish()
-		}
+		seen[idx] = true
+		warm = append(warm, idx)
+	}
+	if measureIdxs(warm) {
+		return tr.finish()
 	}
 
 	for tr.result.Measured < opts.Trials && int64(len(seen)) < size {
@@ -255,20 +295,21 @@ func (x XGBTuner) Tune(space *Space, measure MeasureFunc, opts Options) (Result,
 			break
 		}
 		sort.Slice(candidates, func(i, j int) bool { return candidates[i].pred < candidates[j].pred })
-		picked := 0
+		var picked []int64
 		for _, c := range candidates {
-			if picked >= batch || tr.result.Measured >= opts.Trials {
+			if len(picked) >= batch || tr.result.Measured+len(picked) >= opts.Trials {
 				break
 			}
 			if seen[c.idx] {
 				continue
 			}
-			picked++
-			if measureIdx(c.idx) {
-				return tr.finish()
-			}
+			seen[c.idx] = true
+			picked = append(picked, c.idx)
 		}
-		if picked == 0 {
+		if measureIdxs(picked) {
+			return tr.finish()
+		}
+		if len(picked) == 0 {
 			break
 		}
 	}

@@ -12,14 +12,63 @@ import (
 	"io"
 	"strings"
 
-	"repro/internal/api"
 	"repro/internal/autotune"
+	"repro/internal/farm"
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/stonne/config"
 	"repro/internal/stonne/mapping"
+	"repro/internal/stonne/stats"
 	"repro/internal/tensor"
 )
+
+// runJobStats streams a batched job set through the farm — or inline and
+// serially when fm is nil — returning only each job's Stats. Jobs are
+// built lazily and at most 2×workers are in flight, so a sweep's peak
+// memory stays at a handful of layers' operand tensors rather than the
+// whole network's. Both paths funnel through farm.Run, so results are
+// bit-identical; only wall-clock time differs.
+func runJobStats(fm *farm.Farm, builders []func() farm.Job) ([]stats.Stats, error) {
+	out := make([]stats.Stats, len(builders))
+	if fm == nil {
+		for i, build := range builders {
+			res, err := farm.Run(build())
+			if err != nil {
+				return nil, fmt.Errorf("job %d: %w", i, err)
+			}
+			out[i] = res.Stats
+		}
+		return out, nil
+	}
+	window := 2 * fm.Workers()
+	futures := make([]*farm.Future, len(builders))
+	collect := func(i int) error {
+		res, err := futures[i].Wait()
+		if err != nil {
+			return fmt.Errorf("job %d: %w", i, err)
+		}
+		futures[i] = nil // release the future (and its output tensor)
+		out[i] = res.Stats
+		return nil
+	}
+	for i, build := range builders {
+		if i >= window {
+			if err := collect(i - window); err != nil {
+				return nil, err
+			}
+		}
+		futures[i] = fm.Submit(build())
+	}
+	for i := len(builders) - window; i < len(builders); i++ {
+		if i < 0 {
+			continue
+		}
+		if err := collect(i); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
 
 // Scale selects the workload size: the paper's full AlexNet layers, or
 // geometry-faithful mini layers for fast regression runs.
@@ -90,37 +139,53 @@ func (r Fig9Row) Reduction() float64 {
 }
 
 // Fig9 runs every AlexNet layer on SIGMA at 0% and 50% weight sparsity.
-func Fig9(scale Scale, seed int64) ([]Fig9Row, error) {
+// The layer×sparsity grid is one batched job set: with a farm the
+// simulations run concurrently across its workers (and repeated sweeps are
+// served from the result cache); with fm == nil they run serially inline.
+func Fig9(fm *farm.Farm, scale Scale, seed int64) ([]Fig9Row, error) {
+	ls := layers(scale)
+	var builders []func() farm.Job
+	for i, l := range ls {
+		for _, sparsity := range []float64{0, 0.5} {
+			builders = append(builders, func() farm.Job {
+				cfg := config.Default(config.SIGMASparseGEMM)
+				cfg.SparsityRatio = int(sparsity * 100)
+				j := farm.Job{HW: cfg, Seed: seed + int64(i)}
+				if l.Op == graph.OpConv2D {
+					d := l.Conv
+					ker := tensor.RandomUniform(seed+int64(i)+100, 1, d.K, d.C/d.G, d.R, d.S)
+					ensureDense(ker)
+					tensor.Prune(ker, sparsity)
+					j.Kind = farm.Conv2D
+					j.Dims = d
+					j.ConvMapping = mapping.Basic()
+					j.Input = tensor.RandomUniform(seed+int64(i), 1, d.N, d.C, d.H, d.W)
+					j.Weights = ker
+				} else {
+					w := tensor.RandomUniform(seed+int64(i)+100, 1, l.N, l.K)
+					ensureDense(w)
+					tensor.Prune(w, sparsity)
+					j.Kind = farm.Dense
+					j.FCMapping = mapping.BasicFC()
+					j.Input = tensor.RandomUniform(seed+int64(i), 1, l.M, l.K)
+					j.Weights = w
+				}
+				return j
+			})
+		}
+	}
+	results, err := runJobStats(fm, builders)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig9: %w", err)
+	}
 	var rows []Fig9Row
-	for i, l := range layers(scale) {
-		run := func(sparsity float64) (int64, error) {
-			cfg := config.Default(config.SIGMASparseGEMM)
-			cfg.SparsityRatio = int(sparsity * 100)
-			if l.Op == graph.OpConv2D {
-				d := l.Conv
-				in := tensor.RandomUniform(seed+int64(i), 1, d.N, d.C, d.H, d.W)
-				ker := tensor.RandomUniform(seed+int64(i)+100, 1, d.K, d.C/d.G, d.R, d.S)
-				ensureDense(ker)
-				tensor.Prune(ker, sparsity)
-				_, st, err := api.Conv2DNCHW(cfg, in, ker, d, mapping.Basic())
-				return st.Cycles, err
-			}
-			in := tensor.RandomUniform(seed+int64(i), 1, l.M, l.K)
-			w := tensor.RandomUniform(seed+int64(i)+100, 1, l.N, l.K)
-			ensureDense(w)
-			tensor.Prune(w, sparsity)
-			_, st, err := api.Dense(cfg, in, w, mapping.BasicFC())
-			return st.Cycles, err
-		}
-		dense, err := run(0)
-		if err != nil {
-			return nil, fmt.Errorf("bench: fig9 %s dense: %w", l.Name, err)
-		}
-		sparse, err := run(0.5)
-		if err != nil {
-			return nil, fmt.Errorf("bench: fig9 %s sparse: %w", l.Name, err)
-		}
-		rows = append(rows, Fig9Row{Layer: l.Name, IsConv: l.Op == graph.OpConv2D, CyclesDense: dense, CyclesSparse50: sparse})
+	for i, l := range ls {
+		rows = append(rows, Fig9Row{
+			Layer:          l.Name,
+			IsConv:         l.Op == graph.OpConv2D,
+			CyclesDense:    results[2*i].Cycles,
+			CyclesSparse50: results[2*i+1].Cycles,
+		})
 	}
 	return rows, nil
 }
@@ -191,8 +256,10 @@ func Fig10Conv() tensor.ConvDims {
 
 // Fig10 grid-searches the full mapping space at each multiplier count,
 // optimising for cycles, and reports the globally optimal and suboptimal
-// (worst) mappings — the two curves of Figure 10.
-func Fig10(multipliers []int) ([]Fig10Row, error) {
+// (worst) mappings — the two curves of Figure 10. With a farm, every
+// feasible mapping in the space is measured as a concurrent dry-run job;
+// the resulting curves are bit-identical to the serial search.
+func Fig10(fm *farm.Farm, multipliers []int) ([]Fig10Row, error) {
 	if len(multipliers) == 0 {
 		multipliers = []int{8, 16, 32, 64, 128}
 	}
@@ -205,7 +272,11 @@ func Fig10(multipliers []int) ([]Fig10Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := autotune.GridSearch{}.Tune(space, autotune.ConvCycleCost(cfg, d), autotune.Options{})
+		opts := autotune.Options{}
+		if fm != nil {
+			opts.Measurer = autotune.FarmConvCycleMeasurer(fm, cfg, d)
+		}
+		res, err := autotune.GridSearch{}.Tune(space, autotune.ConvCycleCost(cfg, d), opts)
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig10 ms=%d: %w", ms, err)
 		}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestFig9MiniShape(t *testing.T) {
-	rows, err := Fig9(Mini, 1)
+	rows, err := Fig9(nil, Mini, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestFig9MiniShape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	rows, err := Fig10([]int{8, 32, 128})
+	rows, err := Fig10(nil, []int{8, 32, 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestMappingStudyMiniShape(t *testing.T) {
 	opts := DefaultTuneOptions()
 	opts.Trials = 200
 	opts.EarlyStopping = 60
-	rows, err := MappingStudy(Mini, opts)
+	rows, err := MappingStudy(nil, Mini, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

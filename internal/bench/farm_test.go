@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/farm"
+)
+
+// TestExperimentsFarmedMatchSerial runs the Figure 9/10 sweeps and the
+// mapping study serially and through a farm and requires identical rows —
+// the farm is a scheduler, not a different experiment.
+func TestExperimentsFarmedMatchSerial(t *testing.T) {
+	fm := farm.New(4)
+	defer fm.Close()
+
+	serial9, err := Fig9(nil, Mini, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmed9, err := Fig9(fm, Mini, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial9, farmed9) {
+		t.Fatalf("fig9 rows diverged:\nserial: %+v\nfarmed: %+v", serial9, farmed9)
+	}
+
+	serial10, err := Fig10(nil, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmed10, err := Fig10(fm, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial10, farmed10) {
+		t.Fatalf("fig10 rows diverged:\nserial: %+v\nfarmed: %+v", serial10, farmed10)
+	}
+
+	opts := DefaultTuneOptions()
+	opts.Trials = 120
+	opts.EarlyStopping = 40
+	serialStudy, err := MappingStudy(nil, Mini, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmedStudy, err := MappingStudy(fm, Mini, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialStudy, farmedStudy) {
+		t.Fatalf("mapping study rows diverged:\nserial: %+v\nfarmed: %+v", serialStudy, farmedStudy)
+	}
+
+	// A repeated sweep must be served from the content-addressed cache.
+	misses := fm.Stats().Misses
+	if _, err := Fig9(fm, Mini, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := fm.Stats()
+	if st.Misses != misses {
+		t.Fatalf("repeated Fig9 sweep re-simulated: %+v", st)
+	}
+	if st.HitRate() == 0 {
+		t.Fatalf("hit rate still zero after a repeated sweep: %+v", st)
+	}
+}

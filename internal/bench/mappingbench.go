@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/autotune"
+	"repro/internal/farm"
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/mrna"
@@ -28,14 +29,21 @@ func DefaultTuneOptions() TuneOptions {
 	return TuneOptions{Trials: 600, EarlyStopping: 120, Seed: 1}
 }
 
-// tunedConvMapping runs the psum-target XGB tuning for one conv layer.
-func tunedConvMapping(d tensor.ConvDims, ms int, o TuneOptions) (mapping.ConvMapping, error) {
+// tunedConvMapping runs the psum-target XGB tuning for one conv layer. The
+// psum measure is a cheap pure function, so with a farm present the trials
+// parallelize through a goroutine-pool measurer sized to the farm rather
+// than through simulation jobs.
+func tunedConvMapping(fm *farm.Farm, d tensor.ConvDims, ms int, o TuneOptions) (mapping.ConvMapping, error) {
 	space, err := autotune.ConvMappingSpace(d, ms)
 	if err != nil {
 		return mapping.ConvMapping{}, err
 	}
-	res, err := autotune.XGBTuner{}.Tune(space, autotune.ConvPsumCost(d, ms),
-		autotune.Options{Trials: o.Trials, EarlyStopping: o.EarlyStopping, Seed: o.Seed})
+	measure := autotune.ConvPsumCost(d, ms)
+	opts := autotune.Options{Trials: o.Trials, EarlyStopping: o.EarlyStopping, Seed: o.Seed}
+	if fm != nil {
+		opts.Measurer = autotune.ParallelMeasurer(fm.Workers(), measure)
+	}
+	res, err := autotune.XGBTuner{}.Tune(space, measure, opts)
 	if err != nil {
 		return mapping.ConvMapping{}, err
 	}
@@ -45,17 +53,37 @@ func tunedConvMapping(d tensor.ConvDims, ms int, o TuneOptions) (mapping.ConvMap
 // tunedFCMapping runs the psum-target grid tuning for one dense layer (the
 // FC space is small enough that the paper's converged XGB search and an
 // exhaustive search coincide).
-func tunedFCMapping(l models.LayerSpec, ms int) (mapping.FCMapping, error) {
+func tunedFCMapping(fm *farm.Farm, l models.LayerSpec, ms int) (mapping.FCMapping, error) {
 	space := autotune.FCMappingSpace(l.K, l.N, ms)
-	res, err := autotune.GridSearch{}.Tune(space, autotune.FCPsumCost(l.M, l.K, l.N, ms), autotune.Options{})
+	measure := autotune.FCPsumCost(l.M, l.K, l.N, ms)
+	opts := autotune.Options{}
+	if fm != nil {
+		opts.Measurer = autotune.ParallelMeasurer(fm.Workers(), measure)
+	}
+	res, err := autotune.GridSearch{}.Tune(space, measure, opts)
 	if err != nil {
 		return mapping.FCMapping{}, err
 	}
 	return autotune.FCMappingOf(res.Best.Config), nil
 }
 
-// dryCycles measures a mapping's cycle count with a dry-run MAERI engine.
-func dryCycles(cfg config.HWConfig, l models.LayerSpec, cm mapping.ConvMapping, fm mapping.FCMapping) (int64, error) {
+// dryCycles measures a mapping's cycle count with a dry-run MAERI engine,
+// through the farm (cached, deduplicated) when one is provided.
+func dryCycles(f *farm.Farm, cfg config.HWConfig, l models.LayerSpec, cm mapping.ConvMapping, fcm mapping.FCMapping) (int64, error) {
+	if f != nil {
+		j := farm.Job{HW: cfg, DryRun: true}
+		if l.Op == graph.OpConv2D {
+			j.Kind = farm.Conv2D
+			j.Dims = l.Conv
+			j.ConvMapping = cm
+		} else {
+			j.Kind = farm.Dense
+			j.FCMapping = fcm
+			j.M, j.K, j.N = l.M, l.K, l.N
+		}
+		res, err := f.Do(j)
+		return res.Stats.Cycles, err
+	}
 	eng, err := maeri.NewEngine(cfg)
 	if err != nil {
 		return 0, err
@@ -67,7 +95,7 @@ func dryCycles(cfg config.HWConfig, l models.LayerSpec, cm mapping.ConvMapping, 
 	}
 	in := tensor.New(l.M, l.K)
 	w := tensor.New(l.N, l.K)
-	_, st, err := eng.Dense(in, w, fm)
+	_, st, err := eng.Dense(in, w, fcm)
 	return st.Cycles, err
 }
 
@@ -94,8 +122,10 @@ func (r MappingRow) Speedup() float64 { return float64(r.BasicCycles) / float64(
 // MappingStudy runs the complete §VIII-B pipeline on each AlexNet layer:
 // the automatically generated basic mapping, the AutoTVM-tuned mapping
 // (psums target with early stopping) and the mRNA mapping, each measured in
-// cycles on MAERI with 128 multipliers.
-func MappingStudy(scale Scale, o TuneOptions) ([]MappingRow, error) {
+// cycles on MAERI with 128 multipliers. With a farm, tuner trials
+// parallelize and the cycle measurements run as cached dry-run jobs; rows
+// are bit-identical to the serial study either way.
+func MappingStudy(fm *farm.Farm, scale Scale, o TuneOptions) ([]MappingRow, error) {
 	cfg := config.Default(config.MAERIDenseWorkload)
 	mapper, err := mrna.NewMapper(cfg, mrna.MinimizeCycles)
 	if err != nil {
@@ -105,7 +135,7 @@ func MappingStudy(scale Scale, o TuneOptions) ([]MappingRow, error) {
 	for _, l := range layers(scale) {
 		row := MappingRow{Layer: l.Name, IsConv: l.Op == graph.OpConv2D}
 		if l.Op == graph.OpConv2D {
-			row.AutoTVMConv, err = tunedConvMapping(l.Conv, cfg.MSSize, o)
+			row.AutoTVMConv, err = tunedConvMapping(fm, l.Conv, cfg.MSSize, o)
 			if err != nil {
 				return nil, fmt.Errorf("bench: tuning %s: %w", l.Name, err)
 			}
@@ -113,17 +143,17 @@ func MappingStudy(scale Scale, o TuneOptions) ([]MappingRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bench: mRNA %s: %w", l.Name, err)
 			}
-			if row.BasicCycles, err = dryCycles(cfg, l, mapping.Basic(), mapping.FCMapping{}); err != nil {
+			if row.BasicCycles, err = dryCycles(fm, cfg, l, mapping.Basic(), mapping.FCMapping{}); err != nil {
 				return nil, err
 			}
-			if row.AutoTVMCycles, err = dryCycles(cfg, l, row.AutoTVMConv, mapping.FCMapping{}); err != nil {
+			if row.AutoTVMCycles, err = dryCycles(fm, cfg, l, row.AutoTVMConv, mapping.FCMapping{}); err != nil {
 				return nil, err
 			}
-			if row.MRNACycles, err = dryCycles(cfg, l, row.MRNAConv, mapping.FCMapping{}); err != nil {
+			if row.MRNACycles, err = dryCycles(fm, cfg, l, row.MRNAConv, mapping.FCMapping{}); err != nil {
 				return nil, err
 			}
 		} else {
-			row.AutoTVMFC, err = tunedFCMapping(l, cfg.MSSize)
+			row.AutoTVMFC, err = tunedFCMapping(fm, l, cfg.MSSize)
 			if err != nil {
 				return nil, fmt.Errorf("bench: tuning %s: %w", l.Name, err)
 			}
@@ -131,13 +161,13 @@ func MappingStudy(scale Scale, o TuneOptions) ([]MappingRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bench: mRNA %s: %w", l.Name, err)
 			}
-			if row.BasicCycles, err = dryCycles(cfg, l, mapping.ConvMapping{}, mapping.BasicFC()); err != nil {
+			if row.BasicCycles, err = dryCycles(fm, cfg, l, mapping.ConvMapping{}, mapping.BasicFC()); err != nil {
 				return nil, err
 			}
-			if row.AutoTVMCycles, err = dryCycles(cfg, l, mapping.ConvMapping{}, row.AutoTVMFC); err != nil {
+			if row.AutoTVMCycles, err = dryCycles(fm, cfg, l, mapping.ConvMapping{}, row.AutoTVMFC); err != nil {
 				return nil, err
 			}
-			if row.MRNACycles, err = dryCycles(cfg, l, mapping.ConvMapping{}, row.MRNAFC); err != nil {
+			if row.MRNACycles, err = dryCycles(fm, cfg, l, mapping.ConvMapping{}, row.MRNAFC); err != nil {
 				return nil, err
 			}
 		}

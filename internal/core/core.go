@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/api"
+	"repro/internal/farm"
 	"repro/internal/graph"
 	"repro/internal/passes"
 	"repro/internal/stonne/config"
@@ -51,6 +52,8 @@ type Session struct {
 	DefaultConvMapping *mapping.ConvMapping
 	DefaultFCMapping   *mapping.FCMapping
 
+	farm *farm.Farm
+
 	records []api.LayerRecord
 }
 
@@ -74,6 +77,21 @@ func NewSession(cfg config.HWConfig) (*Session, error) {
 
 // Config returns the session's normalised hardware configuration.
 func (s *Session) Config() config.HWConfig { return s.cfg }
+
+// WithFarm routes every offloaded layer through the given simulation farm:
+// each layer is submitted as a job, so identical simulations — across runs,
+// sessions or concurrent requests sharing the farm — are deduplicated and
+// served from the content-addressed cache. Outputs, per-layer records and
+// their ordering are bit-identical to the farmless path; only wall-clock
+// time and cache statistics change. Passing nil restores direct execution.
+// It returns s for chaining.
+func (s *Session) WithFarm(f *farm.Farm) *Session {
+	s.farm = f
+	return s
+}
+
+// Farm returns the farm configured with WithFarm, or nil.
+func (s *Session) Farm() *farm.Farm { return s.farm }
 
 // Records returns the per-layer simulation records of the last Run.
 func (s *Session) Records() []api.LayerRecord { return s.records }
@@ -162,16 +180,23 @@ func (s *Session) offloadConv(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tens
 	}
 	kernel := s.maybePrune(ins[1])
 	m := s.convMappingFor(n.Name)
-	var out *tensor.Tensor
-	var st stats.Stats
-	if n.Attrs.DataLayout == tensor.NHWC {
-		out, st, err = api.Conv2DNHWC(s.cfg, ins[0], kernel, d, m)
+	// One job description for both paths: the farm schedules, caches and
+	// deduplicates it; without a farm the same job runs inline, so the two
+	// paths cannot drift apart.
+	job := farm.Job{
+		HW: s.cfg, Kind: farm.Conv2D, Layout: n.Attrs.DataLayout,
+		Dims: d, ConvMapping: m, Input: ins[0], Weights: kernel,
+	}
+	var res farm.Result
+	if s.farm != nil {
+		res, err = s.farm.Do(job)
 	} else {
-		out, st, err = api.Conv2DNCHW(s.cfg, ins[0], kernel, d, m)
+		res, err = farm.Run(job)
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("offloading conv2d %q: %w", n.Name, err)
 	}
+	out, st := res.Out, res.Stats
 	if s.Verify {
 		var want *tensor.Tensor
 		if n.Attrs.DataLayout == tensor.NHWC {
@@ -195,10 +220,18 @@ func (s *Session) offloadConv(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tens
 func (s *Session) offloadDense(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tensor, bool, error) {
 	weights := s.maybePrune(ins[1])
 	m := s.fcMappingFor(n.Name)
-	out, st, err := api.Dense(s.cfg, ins[0], weights, m)
+	job := farm.Job{HW: s.cfg, Kind: farm.Dense, FCMapping: m, Input: ins[0], Weights: weights}
+	var res farm.Result
+	var err error
+	if s.farm != nil {
+		res, err = s.farm.Do(job)
+	} else {
+		res, err = farm.Run(job)
+	}
 	if err != nil {
 		return nil, false, fmt.Errorf("offloading dense %q: %w", n.Name, err)
 	}
+	out, st := res.Out, res.Stats
 	if s.Verify {
 		want, err := topi.Dense(ins[0], weights)
 		if err != nil {

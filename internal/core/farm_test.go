@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/farm"
+	"repro/internal/models"
+	"repro/internal/stonne/config"
+	"repro/internal/tensor"
+)
+
+// TestSessionWithFarmBitIdentical runs the same model with and without the
+// farm on every architecture and requires bit-identical outputs and
+// per-layer records — the farm may only change wall-clock time and cache
+// statistics, never results.
+func TestSessionWithFarmBitIdentical(t *testing.T) {
+	f := farm.New(4)
+	defer f.Close()
+	feeds := map[string]*tensor.Tensor{"data": tensor.RandomUniform(9, 1, 1, 2, 10, 10)}
+	for _, ct := range []config.ControllerType{
+		config.MAERIDenseWorkload, config.SIGMASparseGEMM, config.TPUOSDense,
+	} {
+		cfg := config.Default(ct)
+		if ct == config.SIGMASparseGEMM {
+			cfg.SparsityRatio = 50
+		}
+		serial, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Verify = true
+		serialOut, err := serial.Run(models.TinyCNN(42), feeds)
+		if err != nil {
+			t.Fatalf("%s serial: %v", ct, err)
+		}
+
+		farmed, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		farmed.Verify = true
+		farmed.WithFarm(f)
+		farmedOut, err := farmed.Run(models.TinyCNN(42), feeds)
+		if err != nil {
+			t.Fatalf("%s farmed: %v", ct, err)
+		}
+
+		if len(serialOut) != len(farmedOut) {
+			t.Fatalf("%s: output counts differ", ct)
+		}
+		for i := range serialOut {
+			if !tensor.AllClose(serialOut[i], farmedOut[i], 0) {
+				t.Fatalf("%s: output %d not bit-identical (max diff %v)",
+					ct, i, tensor.MaxAbsDiff(serialOut[i], farmedOut[i]))
+			}
+		}
+		sr, fr := serial.Records(), farmed.Records()
+		if len(sr) != len(fr) {
+			t.Fatalf("%s: record counts differ: %d vs %d", ct, len(sr), len(fr))
+		}
+		for i := range sr {
+			if sr[i] != fr[i] {
+				t.Fatalf("%s: layer record %d differs:\n  serial: %v\n  farmed: %v", ct, i, sr[i], fr[i])
+			}
+		}
+	}
+}
+
+// TestSessionRepeatRunsHitCache re-runs a session sharing a farm and checks
+// the second run is served entirely from the cache.
+func TestSessionRepeatRunsHitCache(t *testing.T) {
+	f := farm.New(2)
+	defer f.Close()
+	sess, err := NewSession(config.Default(config.MAERIDenseWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.WithFarm(f)
+	feeds := map[string]*tensor.Tensor{"data": tensor.RandomUniform(9, 1, 1, 2, 10, 10)}
+	if _, err := sess.Run(models.TinyCNN(42), feeds); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := f.Stats().Misses
+	if _, err := sess.Run(models.TinyCNN(42), feeds); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Misses != missesAfterFirst {
+		t.Fatalf("second identical run re-simulated: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("second identical run produced no cache hits: %+v", st)
+	}
+}

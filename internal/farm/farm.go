@@ -1,0 +1,272 @@
+package farm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Farm is the concurrent simulation farm: a fixed pool of workers draining
+// a FIFO job queue, fronted by a content-addressed result cache with
+// single-flight deduplication — concurrent submissions of the same job
+// share one execution, and repeated submissions are served from the cache
+// without simulating at all.
+//
+// A Farm is safe for concurrent use by any number of goroutines and is
+// typically shared: sessions, tuners and the bifrost-serve service can all
+// point at one farm so their identical simulations coalesce.
+type Farm struct {
+	workers int
+
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	queue  []*call
+	closed bool
+	wg     sync.WaitGroup
+
+	cmu      sync.Mutex
+	cache    map[string]Result
+	inflight map[string]*call
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	deduped   atomic.Int64
+	pending   atomic.Int64
+}
+
+// call is one in-flight execution, shared by every waiter that submitted an
+// identical job while it was queued or running.
+type call struct {
+	job  Job
+	key  string
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// New returns a running farm with the given number of workers; workers <= 0
+// selects GOMAXPROCS.
+func New(workers int) *Farm {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	f := &Farm{
+		workers:  workers,
+		cache:    make(map[string]Result),
+		inflight: make(map[string]*call),
+	}
+	f.qcond = sync.NewCond(&f.qmu)
+	f.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go f.worker()
+	}
+	return f
+}
+
+// Workers returns the worker-pool size.
+func (f *Farm) Workers() int { return f.workers }
+
+// Close stops accepting jobs, waits for queued and running jobs to finish,
+// and releases the workers. Submitting after Close returns an error.
+func (f *Farm) Close() {
+	f.qmu.Lock()
+	if f.closed {
+		f.qmu.Unlock()
+		return
+	}
+	f.closed = true
+	f.qcond.Broadcast()
+	f.qmu.Unlock()
+	f.wg.Wait()
+}
+
+func (f *Farm) worker() {
+	defer f.wg.Done()
+	for {
+		f.qmu.Lock()
+		for len(f.queue) == 0 && !f.closed {
+			f.qcond.Wait()
+		}
+		if len(f.queue) == 0 && f.closed {
+			f.qmu.Unlock()
+			return
+		}
+		c := f.queue[0]
+		f.queue = f.queue[1:]
+		f.qmu.Unlock()
+		f.exec(c)
+	}
+}
+
+// exec runs one call, publishes its result to the cache and wakes every
+// waiter.
+func (f *Farm) exec(c *call) {
+	c.res, c.err = Run(c.job)
+	f.cmu.Lock()
+	delete(f.inflight, c.key)
+	if c.err == nil {
+		f.cache[c.key] = c.res
+	}
+	f.cmu.Unlock()
+	if c.err == nil {
+		f.completed.Add(1)
+	} else {
+		f.failed.Add(1)
+	}
+	f.pending.Add(-1)
+	close(c.done)
+}
+
+// Future is a handle to a submitted job. Wait blocks until the result is
+// available; it may be called from any goroutine, any number of times.
+type Future struct {
+	c   *call
+	key string
+	res Result
+	err error
+}
+
+// Wait blocks until the job finishes and returns its result. The returned
+// output tensor is the caller's own copy.
+func (fu *Future) Wait() (Result, error) {
+	if fu.c != nil {
+		<-fu.c.done
+		fu.res, fu.err = fu.c.res, fu.c.err
+		fu.c = nil
+	}
+	if fu.err != nil {
+		return Result{}, fu.err
+	}
+	res := fu.res
+	res.Key = fu.key
+	if res.Out != nil {
+		res.Out = res.Out.Clone()
+	}
+	return res, nil
+}
+
+func resolvedFuture(key string, res Result, err error) *Future {
+	return &Future{key: key, res: res, err: err}
+}
+
+// Submit enqueues a job and returns immediately with a Future. Cache hits
+// resolve instantly; a job identical to one already queued or running
+// attaches to that execution instead of enqueueing a second one.
+func (f *Farm) Submit(j Job) *Future {
+	f.submitted.Add(1)
+	key, err := j.Key()
+	if err != nil {
+		f.failed.Add(1)
+		return resolvedFuture("", Result{}, err)
+	}
+	f.cmu.Lock()
+	if res, ok := f.cache[key]; ok {
+		f.cmu.Unlock()
+		f.hits.Add(1)
+		res.Hit = true
+		return resolvedFuture(key, res, nil)
+	}
+	if c, ok := f.inflight[key]; ok {
+		f.cmu.Unlock()
+		f.deduped.Add(1)
+		return &Future{c: c, key: key}
+	}
+	c := &call{job: j, key: key, done: make(chan struct{})}
+	f.inflight[key] = c
+	f.cmu.Unlock()
+	f.misses.Add(1)
+
+	f.qmu.Lock()
+	if f.closed {
+		f.qmu.Unlock()
+		f.cmu.Lock()
+		delete(f.inflight, key)
+		f.cmu.Unlock()
+		f.failed.Add(1)
+		// Complete the call rather than abandoning it: a concurrent
+		// identical Submit may already have attached to it as a waiter.
+		c.err = fmt.Errorf("farm: submit on closed farm")
+		close(c.done)
+		return &Future{c: c, key: key}
+	}
+	f.pending.Add(1)
+	f.queue = append(f.queue, c)
+	f.qcond.Signal()
+	f.qmu.Unlock()
+	return &Future{c: c, key: key}
+}
+
+// Do submits a job and blocks until its result is ready.
+func (f *Farm) Do(j Job) (Result, error) { return f.Submit(j).Wait() }
+
+// DoBatch submits every job, waits for all of them, and returns the results
+// in submission order. The error is the first failure encountered (in
+// order); successful entries are still populated.
+func (f *Farm) DoBatch(jobs []Job) ([]Result, error) {
+	futures := make([]*Future, len(jobs))
+	for i, j := range jobs {
+		futures[i] = f.Submit(j)
+	}
+	results := make([]Result, len(jobs))
+	var firstErr error
+	for i, fu := range futures {
+		res, err := fu.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("farm: job %d: %w", i, err)
+		}
+		results[i] = res
+	}
+	return results, firstErr
+}
+
+// Stats is a snapshot of the farm's scheduler and cache counters.
+type Stats struct {
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// Submitted counts every job handed to Submit/Do/DoBatch.
+	Submitted int64 `json:"submitted"`
+	// Completed and Failed count finished executions (not cache hits).
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Hits counts submissions served from the result cache; Misses counts
+	// submissions that scheduled a fresh simulation; Deduped counts
+	// submissions that attached to an identical in-flight execution.
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Deduped int64 `json:"deduped"`
+	// Pending is the number of jobs currently queued or running.
+	Pending int64 `json:"pending"`
+	// CacheEntries is the number of distinct results held.
+	CacheEntries int `json:"cache_entries"`
+}
+
+// HitRate returns the fraction of submissions that avoided a fresh
+// simulation (cache hits plus single-flight attaches).
+func (s Stats) HitRate() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Deduped) / float64(s.Submitted)
+}
+
+// Stats returns a consistent-enough snapshot of the counters.
+func (f *Farm) Stats() Stats {
+	f.cmu.Lock()
+	entries := len(f.cache)
+	f.cmu.Unlock()
+	return Stats{
+		Workers:      f.workers,
+		Submitted:    f.submitted.Load(),
+		Completed:    f.completed.Load(),
+		Failed:       f.failed.Load(),
+		Hits:         f.hits.Load(),
+		Misses:       f.misses.Load(),
+		Deduped:      f.deduped.Load(),
+		Pending:      f.pending.Load(),
+		CacheEntries: entries,
+	}
+}

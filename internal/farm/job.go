@@ -1,0 +1,175 @@
+// Package farm is the concurrent simulation farm: a worker-pool job
+// scheduler that executes layer simulations across GOMAXPROCS workers,
+// fronted by a content-addressed result cache so identical simulations are
+// never run twice. Every layer Bifrost offloads spins up a fresh STONNE
+// instance (§V step 3 of the paper) and the AutoTVM-style tuners re-simulate
+// thousands of near-identical (architecture, layer, mapping) points — the
+// farm deduplicates and parallelises both, and backs the bifrost-serve
+// batch service.
+package farm
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/maeri"
+	"repro/internal/stonne/mapping"
+	"repro/internal/stonne/stats"
+	"repro/internal/tensor"
+)
+
+// Kind selects the simulated layer operator of a Job.
+type Kind string
+
+// Job kinds.
+const (
+	Conv2D Kind = "conv2d"
+	Dense  Kind = "dense"
+)
+
+// Job is one layer simulation: a hardware configuration plus the layer
+// geometry, dataflow mapping and operand tensors. Jobs are values — they
+// carry everything needed to run the simulation, so identical jobs are
+// interchangeable and their results cacheable under a content-addressed Key.
+type Job struct {
+	// HW is the accelerator configuration (normalised before execution and
+	// hashing, so equivalent configurations share cache entries).
+	HW config.HWConfig
+
+	// Kind selects the operator: Conv2D or Dense.
+	Kind Kind
+
+	// Layout is the conv activation layout (tensor.NHWC or tensor.NCHW);
+	// anything other than NHWC follows the NCHW path, mirroring the engine.
+	Layout tensor.Layout
+
+	// Dims is the convolution geometry (Kind == Conv2D).
+	Dims tensor.ConvDims
+
+	// ConvMapping is the MAERI conv tile configuration (Kind == Conv2D).
+	ConvMapping mapping.ConvMapping
+
+	// FCMapping is the MAERI dense tile configuration (Kind == Dense).
+	FCMapping mapping.FCMapping
+
+	// M, K, N give the dense geometry (batches, input neurons, output
+	// neurons). Required for dry-run dense jobs; otherwise derived from the
+	// operand tensors.
+	M, K, N int
+
+	// Input and Weights are the operand tensors. The farm treats them as
+	// immutable; callers apply pruning before building the job (the key
+	// then covers the pruned content together with HW.SparsityRatio).
+	// Both may be nil for dry-run jobs.
+	Input, Weights *tensor.Tensor
+
+	// Seed identifies operands generated from a PRNG seed by the caller
+	// (e.g. the bifrost-serve service). It participates in the key, so two
+	// jobs with equal tensors but different declared seeds never collide.
+	Seed int64
+
+	// DryRun executes a counters-only MAERI simulation (exact cycles, no
+	// arithmetic) — the measurement mode of the AutoTVM cycles target.
+	DryRun bool
+}
+
+// Result is what one executed job reports.
+type Result struct {
+	// Out is the layer output. Nil for dry-run jobs. Each caller receives
+	// its own copy; mutating it does not poison the cache.
+	Out *tensor.Tensor
+
+	// Stats are the simulation counters.
+	Stats stats.Stats
+
+	// Hit reports whether the result was served from the content-addressed
+	// cache instead of a fresh simulation.
+	Hit bool
+
+	// Key is the job's content-addressed cache key, filled in by the farm
+	// (inline Run leaves it empty — no key is computed on that path).
+	Key string
+}
+
+// Run executes the job inline on the calling goroutine, with no farm, no
+// cache and no concurrency. Farm workers and the serial fallback paths both
+// funnel through here, which is what keeps farmed and serial runs
+// bit-identical.
+func Run(j Job) (Result, error) {
+	cfg := j.HW.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if j.DryRun {
+		return runDry(cfg, j)
+	}
+	switch j.Kind {
+	case Conv2D:
+		if j.Input == nil || j.Weights == nil {
+			return Result{}, fmt.Errorf("farm: conv2d job needs input and weight tensors")
+		}
+		d := j.Dims
+		if err := d.Resolve(); err != nil {
+			return Result{}, err
+		}
+		var (
+			out *tensor.Tensor
+			st  stats.Stats
+			err error
+		)
+		if j.Layout == tensor.NHWC {
+			out, st, err = api.Conv2DNHWC(cfg, j.Input, j.Weights, d, j.ConvMapping)
+		} else {
+			out, st, err = api.Conv2DNCHW(cfg, j.Input, j.Weights, d, j.ConvMapping)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Out: out, Stats: st}, nil
+	case Dense:
+		if j.Input == nil || j.Weights == nil {
+			return Result{}, fmt.Errorf("farm: dense job needs input and weight tensors")
+		}
+		out, st, err := api.Dense(cfg, j.Input, j.Weights, j.FCMapping)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Out: out, Stats: st}, nil
+	}
+	return Result{}, fmt.Errorf("farm: unknown job kind %q", j.Kind)
+}
+
+// runDry executes the counters-only measurement path (MAERI only, matching
+// the AutoTVM cycle-cost measure functions).
+func runDry(cfg config.HWConfig, j Job) (Result, error) {
+	eng, err := maeri.NewEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	eng.DryRun = true
+	switch j.Kind {
+	case Conv2D:
+		d := j.Dims
+		if err := d.Resolve(); err != nil {
+			return Result{}, err
+		}
+		_, st, err := eng.Conv2D(nil, nil, d, j.ConvMapping)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Stats: st}, nil
+	case Dense:
+		if j.M <= 0 || j.K <= 0 || j.N <= 0 {
+			return Result{}, fmt.Errorf("farm: dry-run dense job needs M, K, N geometry, got %d×%d→%d", j.M, j.K, j.N)
+		}
+		in := tensor.New(j.M, j.K)
+		w := tensor.New(j.N, j.K)
+		_, st, err := eng.Dense(in, w, j.FCMapping)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Stats: st}, nil
+	}
+	return Result{}, fmt.Errorf("farm: unknown job kind %q", j.Kind)
+}

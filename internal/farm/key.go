@@ -1,0 +1,117 @@
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// keyVersion is folded into every key. Bump it whenever the encoding or the
+// simulation semantics change, so stale caches can never serve results
+// computed under different rules.
+const keyVersion = "bifrost/farm/v1"
+
+// Key returns the content-addressed cache key of a job: a hex-encoded
+// SHA-256 over a canonical little-endian encoding of the normalised
+// hardware configuration, operator kind, geometry, mapping, declared seed
+// and the full operand tensor contents. Two jobs share a key exactly when
+// they describe the same simulation, and keys are stable across processes
+// and platforms (golden values are pinned in key_test.go).
+func (j Job) Key() (string, error) {
+	cfg := j.HW.Normalize()
+	d := j.Dims
+	if j.Kind == Conv2D {
+		if err := d.Resolve(); err != nil {
+			return "", err
+		}
+	}
+	h := sha256.New()
+	w := keyWriter{h: h}
+	w.str(keyVersion)
+
+	// Hardware configuration, Table III order.
+	w.str(string(cfg.Controller))
+	w.str(string(cfg.MSNetwork))
+	w.ints(cfg.MSSize, cfg.MSRows, cfg.MSCols, cfg.DNBandwidth, cfg.RNBandwidth)
+	w.str(string(cfg.ReduceNetwork))
+	w.ints(cfg.SparsityRatio)
+	w.bool(cfg.AccumBuffer)
+
+	// Operator identity.
+	w.str(string(j.Kind))
+	w.str(string(j.Layout))
+	w.bool(j.DryRun)
+	w.u64(uint64(j.Seed)) // full 64 bits — int() would truncate on 32-bit builds
+
+	// Geometry (conv dims are resolved so defaulted fields hash equal).
+	w.ints(d.N, d.C, d.H, d.W, d.K, d.R, d.S, d.G,
+		d.StrideH, d.StrideW, d.PadH, d.PadW, d.DilationH, d.DilationW)
+	w.ints(j.M, j.K, j.N)
+
+	// Mappings.
+	m := j.ConvMapping
+	w.ints(m.TR, m.TS, m.TC, m.TK, m.TG, m.TN, m.TX, m.TY)
+	f := j.FCMapping
+	w.ints(f.TS, f.TK, f.TN)
+
+	// Operand contents — this is what makes the key content-addressed.
+	w.tensor(j.Input)
+	w.tensor(j.Weights)
+
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// keyWriter serialises values into the hash in a fixed, self-delimiting
+// format: every string is length-prefixed and every integer is a fixed-width
+// little-endian int64, so no two distinct jobs can produce the same byte
+// stream.
+type keyWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (w keyWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w keyWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w keyWriter) ints(vs ...int) {
+	for _, v := range vs {
+		w.u64(uint64(int64(v)))
+	}
+}
+
+func (w keyWriter) bool(b bool) {
+	if b {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+func (w keyWriter) tensor(t *tensor.Tensor) {
+	if t == nil {
+		w.u64(0)
+		return
+	}
+	w.u64(1)
+	shape := t.Shape()
+	w.u64(uint64(len(shape)))
+	w.ints(shape...)
+	data := t.Data()
+	w.u64(uint64(len(data)))
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	w.h.Write(buf)
+}

@@ -8,6 +8,9 @@ import (
 )
 
 func TestAlexNetShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building full AlexNet weights takes ~0.5s")
+	}
 	g := AlexNet(1)
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
@@ -74,6 +77,9 @@ func TestAlexNetLayersMatchPaper(t *testing.T) {
 }
 
 func TestAlexNetLayersMatchExtraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building full AlexNet weights takes ~1.2s")
+	}
 	// The hand-written layer table must agree with what ExtractLayers pulls
 	// out of the actual AlexNet graph.
 	g := AlexNet(3)
@@ -188,6 +194,9 @@ func TestLayerSpecString(t *testing.T) {
 }
 
 func TestWeightsDeterministicPerSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building full AlexNet weights twice takes ~2.5s")
+	}
 	a, b := AlexNet(5), AlexNet(5)
 	var wa, wb *tensor.Tensor
 	for _, n := range a.Nodes() {

@@ -1,0 +1,374 @@
+// Package serve implements the bifrost-serve batch simulation service: an
+// HTTP + JSON-lines front end over the simulation farm. It follows the
+// proven cosimulation-service shape — simulators as pluggable services
+// behind a line-oriented JSON protocol — so heavy sweeps can be driven
+// remotely, batched, deduplicated and cached:
+//
+//	POST /simulate  one job  (JSON object  → JSON object)
+//	POST /batch     a sweep  (JSON {"jobs": [...]} → {"results": [...]},
+//	                or NDJSON: one job per line → one result per line)
+//	GET  /stats     farm scheduler + cache metrics
+//	GET  /healthz   liveness probe
+//
+// Operand tensors are generated server-side from the request seed, so a job
+// is a small, reproducible description — the same request always hits the
+// same content-addressed cache entry.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/mapping"
+	"repro/internal/stonne/stats"
+	"repro/internal/tensor"
+)
+
+// ArchSpec selects and overrides a hardware configuration. Controller
+// accepts the short names (maeri, sigma, tpu) or the full STONNE
+// controller_type strings; zero-valued fields keep the paper's defaults.
+type ArchSpec struct {
+	Controller string `json:"controller"`
+	MSSize     int    `json:"ms_size,omitempty"`
+	MSRows     int    `json:"ms_rows,omitempty"`
+	MSCols     int    `json:"ms_cols,omitempty"`
+	DNBw       int    `json:"dn_bw,omitempty"`
+	RNBw       int    `json:"rn_bw,omitempty"`
+	Sparsity   int    `json:"sparsity,omitempty"`
+}
+
+// Config resolves the spec into a validated HWConfig.
+func (a ArchSpec) Config() (config.HWConfig, error) {
+	var ct config.ControllerType
+	switch strings.ToLower(a.Controller) {
+	case "", "maeri", strings.ToLower(string(config.MAERIDenseWorkload)):
+		ct = config.MAERIDenseWorkload
+	case "sigma", strings.ToLower(string(config.SIGMASparseGEMM)):
+		ct = config.SIGMASparseGEMM
+	case "tpu", strings.ToLower(string(config.TPUOSDense)):
+		ct = config.TPUOSDense
+	default:
+		return config.HWConfig{}, fmt.Errorf("unknown controller %q (want maeri, sigma or tpu)", a.Controller)
+	}
+	cfg := config.Default(ct)
+	if a.MSSize > 0 {
+		cfg.MSSize = a.MSSize
+	}
+	if a.MSRows > 0 {
+		cfg.MSRows = a.MSRows
+	}
+	if a.MSCols > 0 {
+		cfg.MSCols = a.MSCols
+	}
+	if a.DNBw > 0 {
+		cfg.DNBandwidth = a.DNBw
+	}
+	if a.RNBw > 0 {
+		cfg.RNBandwidth = a.RNBw
+	}
+	if a.Sparsity > 0 {
+		cfg.SparsityRatio = a.Sparsity
+	}
+	cfg = cfg.Normalize()
+	return cfg, cfg.Validate()
+}
+
+// ConvSpec is the convolution geometry of a request (Table II taxonomy).
+type ConvSpec struct {
+	N      int `json:"n,omitempty"`
+	C      int `json:"c"`
+	H      int `json:"h"`
+	W      int `json:"w"`
+	K      int `json:"k"`
+	R      int `json:"r"`
+	S      int `json:"s"`
+	G      int `json:"g,omitempty"`
+	Stride int `json:"stride,omitempty"`
+	Pad    int `json:"pad,omitempty"`
+}
+
+// DenseSpec is the dense geometry of a request: M batches, K input neurons,
+// N output neurons.
+type DenseSpec struct {
+	M int `json:"m,omitempty"`
+	K int `json:"k"`
+	N int `json:"n"`
+}
+
+// JobRequest describes one simulation. Operands are generated from Seed.
+type JobRequest struct {
+	Arch ArchSpec `json:"arch"`
+	// Op is "conv2d" or "dense".
+	Op    string     `json:"op"`
+	Conv  *ConvSpec  `json:"conv,omitempty"`
+	Dense *DenseSpec `json:"dense,omitempty"`
+	// Mapping is the MAERI conv tile tuple [T_R,T_S,T_C,T_K,T_G,T_N,T_X,T_Y];
+	// empty selects the basic mapping.
+	Mapping []int `json:"mapping,omitempty"`
+	// FCMapping is the dense tile tuple [T_S,T_K,T_N]; empty selects basic.
+	FCMapping []int `json:"fc_mapping,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	// DryRun runs the counters-only MAERI measurement (no operands).
+	DryRun bool `json:"dry_run,omitempty"`
+}
+
+// Job compiles the request into a farm job.
+func (r JobRequest) Job() (farm.Job, error) {
+	cfg, err := r.Arch.Config()
+	if err != nil {
+		return farm.Job{}, err
+	}
+	j := farm.Job{HW: cfg, Seed: r.Seed, DryRun: r.DryRun}
+	switch r.Op {
+	case "conv2d":
+		if r.Conv == nil {
+			return farm.Job{}, fmt.Errorf("conv2d job needs a conv geometry")
+		}
+		c := *r.Conv
+		if c.N == 0 {
+			c.N = 1
+		}
+		if c.G == 0 {
+			c.G = 1
+		}
+		if c.W == 0 {
+			c.W = c.H // square input shorthand
+		}
+		if c.S == 0 {
+			c.S = c.R // square kernel shorthand
+		}
+		d := tensor.ConvDims{N: c.N, C: c.C, H: c.H, W: c.W, K: c.K, R: c.R, S: c.S,
+			G: c.G, StrideH: c.Stride, StrideW: c.Stride, PadH: c.Pad, PadW: c.Pad}
+		if err := d.Resolve(); err != nil {
+			return farm.Job{}, err
+		}
+		j.Kind = farm.Conv2D
+		j.Dims = d
+		j.ConvMapping = mapping.Basic()
+		if len(r.Mapping) > 0 {
+			if len(r.Mapping) != 8 {
+				return farm.Job{}, fmt.Errorf("conv mapping needs 8 tiles, got %d", len(r.Mapping))
+			}
+			m := r.Mapping
+			j.ConvMapping = mapping.ConvMapping{TR: m[0], TS: m[1], TC: m[2], TK: m[3],
+				TG: m[4], TN: m[5], TX: m[6], TY: m[7]}
+		}
+		if !r.DryRun {
+			j.Input = tensor.RandomUniform(r.Seed, 1, d.N, d.C, d.H, d.W)
+			kernel := tensor.RandomUniform(r.Seed+100, 1, d.K, d.C/d.G, d.R, d.S)
+			if cfg.SparsityRatio > 0 {
+				tensor.Prune(kernel, float64(cfg.SparsityRatio)/100)
+			}
+			j.Weights = kernel
+		}
+	case "dense":
+		if r.Dense == nil {
+			return farm.Job{}, fmt.Errorf("dense job needs a dense geometry")
+		}
+		dn := *r.Dense
+		if dn.M == 0 {
+			dn.M = 1
+		}
+		if dn.K <= 0 || dn.N <= 0 {
+			return farm.Job{}, fmt.Errorf("dense job needs positive k and n, got %d and %d", dn.K, dn.N)
+		}
+		j.Kind = farm.Dense
+		j.M, j.K, j.N = dn.M, dn.K, dn.N
+		j.FCMapping = mapping.BasicFC()
+		if len(r.FCMapping) > 0 {
+			if len(r.FCMapping) != 3 {
+				return farm.Job{}, fmt.Errorf("fc mapping needs 3 tiles, got %d", len(r.FCMapping))
+			}
+			j.FCMapping = mapping.FCMapping{TS: r.FCMapping[0], TK: r.FCMapping[1], TN: r.FCMapping[2]}
+		}
+		if !r.DryRun {
+			j.Input = tensor.RandomUniform(r.Seed, 1, dn.M, dn.K)
+			weights := tensor.RandomUniform(r.Seed+100, 1, dn.N, dn.K)
+			if cfg.SparsityRatio > 0 {
+				tensor.Prune(weights, float64(cfg.SparsityRatio)/100)
+			}
+			j.Weights = weights
+		}
+	default:
+		return farm.Job{}, fmt.Errorf("unknown op %q (want conv2d or dense)", r.Op)
+	}
+	return j, nil
+}
+
+// JobResponse is what one simulation reports back.
+type JobResponse struct {
+	// Key is the job's content-addressed cache key.
+	Key string `json:"key,omitempty"`
+	// Cached reports whether the result came from the farm's cache.
+	Cached bool `json:"cached"`
+	// Stats are the simulation counters (omitted on error).
+	Stats *stats.Stats `json:"stats,omitempty"`
+	// OutputShape and OutputSum summarise the output tensor so sweeps can
+	// check reproducibility without shipping whole tensors.
+	OutputShape []int   `json:"output_shape,omitempty"`
+	OutputSum   float64 `json:"output_sum,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Server routes simulation requests into a farm.
+type Server struct {
+	farm *farm.Farm
+	mux  *http.ServeMux
+}
+
+// NewServer returns an http.Handler serving the bifrost-serve API on the
+// given farm.
+func NewServer(f *farm.Farm) *Server {
+	s := &Server{farm: f, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// run executes one request through the farm and shapes the response.
+func (s *Server) run(req JobRequest) JobResponse {
+	start := time.Now()
+	job, err := req.Job()
+	if err != nil {
+		return JobResponse{Error: err.Error(), ElapsedMS: msSince(start)}
+	}
+	res, err := s.farm.Do(job)
+	if err != nil {
+		key, _ := job.Key() // best effort: name the job even on failure
+		return JobResponse{Key: key, Error: err.Error(), ElapsedMS: msSince(start)}
+	}
+	resp := JobResponse{Key: res.Key, Cached: res.Hit, Stats: &res.Stats, ElapsedMS: msSince(start)}
+	if res.Out != nil {
+		resp.OutputShape = res.Out.Shape()
+		var sum float64
+		for _, v := range res.Out.Data() {
+			sum += float64(v)
+		}
+		resp.OutputSum = sum
+	}
+	return resp
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, JobResponse{Error: "decoding job: " + err.Error()})
+		return
+	}
+	resp := s.run(req)
+	status := http.StatusOK
+	if resp.Error != "" {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+// BatchRequest is the JSON form of a sweep.
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// BatchResponse carries sweep results in submission order plus a stats
+// snapshot taken after the sweep.
+type BatchResponse struct {
+	Results []JobResponse `json:"results"`
+	Stats   farm.Stats    `json:"stats"`
+}
+
+// handleBatch accepts either a JSON {"jobs": [...]} body or NDJSON (one job
+// per line, Content-Type application/x-ndjson) and executes the whole sweep
+// concurrently through the farm. NDJSON requests stream NDJSON responses,
+// one line per job, in order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	ndjson := ctype == "application/x-ndjson" || ctype == "application/jsonlines"
+
+	var reqs []JobRequest
+	if ndjson {
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			var req JobRequest
+			if err := json.Unmarshal([]byte(text), &req); err != nil {
+				writeJSON(w, http.StatusBadRequest, JobResponse{Error: fmt.Sprintf("line %d: %v", line, err)})
+				return
+			}
+			reqs = append(reqs, req)
+		}
+		if err := sc.Err(); err != nil {
+			writeJSON(w, http.StatusBadRequest, JobResponse{Error: err.Error()})
+			return
+		}
+	} else {
+		var batch BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			writeJSON(w, http.StatusBadRequest, JobResponse{Error: "decoding batch: " + err.Error()})
+			return
+		}
+		reqs = batch.Jobs
+	}
+
+	// Fan the sweep out, but bound the in-flight requests: the farm caps
+	// simulation concurrency, while this semaphore caps how many jobs have
+	// their operand tensors materialised at once — without it a huge sweep
+	// would allocate every operand up front regardless of worker count.
+	results := make([]JobResponse, len(reqs))
+	sem := make(chan struct{}, 2*s.farm.Workers())
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, req JobRequest) {
+			defer func() { <-sem; wg.Done() }()
+			results[i] = s.run(req)
+		}(i, req)
+	}
+	wg.Wait()
+
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, res := range results {
+			enc.Encode(res)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Stats: s.farm.Stats()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.farm.Stats())
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/farm"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *farm.Farm) {
+	t.Helper()
+	fm := farm.New(2)
+	ts := httptest.NewServer(NewServer(fm))
+	t.Cleanup(func() {
+		ts.Close()
+		fm.Close()
+	})
+	return ts, fm
+}
+
+const convBody = `{
+	"arch": {"controller": "maeri", "ms_size": 128},
+	"op": "conv2d",
+	"conv": {"c": 2, "h": 10, "k": 4, "r": 3},
+	"mapping": [3, 3, 1, 2, 1, 1, 1, 1],
+	"seed": 1
+}`
+
+func TestSimulateAndStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(convBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || first.Error != "" {
+		t.Fatalf("status %d, error %q", resp.StatusCode, first.Error)
+	}
+	if first.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if first.Stats == nil || first.Stats.Cycles == 0 {
+		t.Fatalf("no stats in response: %+v", first)
+	}
+	if len(first.OutputShape) != 4 {
+		t.Fatalf("output shape %v", first.OutputShape)
+	}
+
+	// The identical request must be a cache hit with identical results.
+	resp, err = http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(convBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !second.Cached {
+		t.Fatal("repeated request missed the cache")
+	}
+	if second.Key != first.Key || second.OutputSum != first.OutputSum || *second.Stats != *first.Stats {
+		t.Fatalf("cached response diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+
+	// /stats must report the hit.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st farm.Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Hits == 0 || st.Misses == 0 || st.CacheEntries == 0 {
+		t.Fatalf("stats did not record the hit/miss: %+v", st)
+	}
+	if st.HitRate() <= 0 {
+		t.Fatalf("hit rate %v, want > 0", st.HitRate())
+	}
+}
+
+func TestSimulateRejectsBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, body := range map[string]string{
+		"malformed":   `{"op": `,
+		"unknown op":  `{"op": "pool"}`,
+		"no geometry": `{"op": "conv2d"}`,
+		"bad arch":    `{"op": "dense", "dense": {"k": 4, "n": 2}, "arch": {"controller": "npu"}}`,
+		"bad mapping": `{"op": "conv2d", "conv": {"c": 2, "h": 10, "k": 4, "r": 3}, "mapping": [1, 2]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr JobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK || jr.Error == "" {
+			t.Fatalf("%s: status %d, error %q — want a rejection", name, resp.StatusCode, jr.Error)
+		}
+	}
+}
+
+func TestBatchJSON(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"jobs": [` + convBody + `,` + convBody + `,
+		{"arch": {"controller": "sigma", "sparsity": 50},
+		 "op": "dense", "dense": {"k": 32, "n": 16}, "seed": 2}]}`
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(batch.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(batch.Results))
+	}
+	for i, r := range batch.Results {
+		if r.Error != "" {
+			t.Fatalf("result %d: %s", i, r.Error)
+		}
+	}
+	// The duplicated conv job must coalesce: at most 2 distinct sims ran.
+	if batch.Results[0].Key != batch.Results[1].Key {
+		t.Fatal("identical jobs produced different keys")
+	}
+	if batch.Results[0].OutputSum != batch.Results[1].OutputSum {
+		t.Fatal("identical jobs produced different outputs")
+	}
+	if batch.Stats.Completed > 2 {
+		t.Fatalf("duplicate job was not deduplicated: %+v", batch.Stats)
+	}
+	if batch.Stats.Hits+batch.Stats.Deduped == 0 {
+		t.Fatalf("batch reported no coalescing: %+v", batch.Stats)
+	}
+}
+
+func TestBatchNDJSON(t *testing.T) {
+	ts, _ := newTestServer(t)
+	lines := []string{
+		`{"op": "dense", "dense": {"k": 16, "n": 8}, "seed": 1}`,
+		``, // blank lines are skipped
+		`{"op": "dense", "dense": {"k": 16, "n": 8}, "fc_mapping": [4, 2, 1], "seed": 1}`,
+	}
+	resp, err := http.Post(ts.URL+"/batch", "application/x-ndjson", strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var results []JobResponse
+	for dec.More() {
+		var r JobResponse
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, r := range results {
+		if r.Error != "" {
+			t.Fatalf("result %d: %s", i, r.Error)
+		}
+		if r.Stats == nil || r.Stats.Cycles == 0 {
+			t.Fatalf("result %d has no cycles", i)
+		}
+	}
+	// Different mappings: the tuned one must not be slower than basic here.
+	if results[1].Stats.Cycles >= results[0].Stats.Cycles {
+		t.Fatalf("tiled FC mapping (%d cycles) should beat basic (%d cycles)",
+			results[1].Stats.Cycles, results[0].Stats.Cycles)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}

@@ -50,6 +50,9 @@ func TestFitsLinear(t *testing.T) {
 }
 
 func TestFitsInteraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100 boosting rounds on 500 samples takes ~0.1s")
+	}
 	// Tuning cost surfaces are highly non-linear; trees must capture x0·x1.
 	x, y := dataset(500, 3, func(v []float64) float64 { return v[0] * v[1] })
 	p := DefaultParams()
