@@ -1,0 +1,127 @@
+package bifrost
+
+// Microbenchmarks of the PR 2 fast paths, each paired with the reference
+// implementation it replaced so the speedup stays measurable:
+//
+//	BenchmarkMAERIDryRunConv  — analytical dry-run vs the step-loop
+//	                            reference on a ResNet-scale 3×3/256-channel
+//	                            layer (the §VII-B "cheap cost signal" path)
+//	BenchmarkConvLowering     — fused im2col-free implicit GEMM vs the
+//	                            materialised Im2Col + GEMM composition
+//	BenchmarkGraphExec        — wavefront graph executor vs serial execution
+//	                            on a four-branch CNN
+//
+// GEMM kernel variants (GEMM / GEMMBlocked / GEMMParallel) are benchmarked
+// in internal/tensor. BENCH_pr2.json snapshots the measured numbers.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/maeri"
+	"repro/internal/stonne/mapping"
+	"repro/internal/tensor"
+)
+
+// resnetLayer is a ResNet-scale mid-network convolution: 256 channels in
+// and out, 14×14 spatial, 3×3 kernel.
+func resnetLayer() (tensor.ConvDims, mapping.ConvMapping) {
+	d := tensor.ConvDims{N: 1, C: 256, H: 14, W: 14, K: 256, R: 3, S: 3, PadH: 1, PadW: 1}
+	m := mapping.ConvMapping{TR: 3, TS: 3, TC: 1, TK: 8, TG: 1, TN: 1, TX: 1, TY: 1}
+	return d, m
+}
+
+func BenchmarkMAERIDryRunConv(b *testing.B) {
+	d, m := resnetLayer()
+	if err := d.Resolve(); err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Default(config.MAERIDenseWorkload)
+	for _, ref := range []bool{false, true} {
+		name := "analytic"
+		if ref {
+			name = "reference"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := maeri.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.DryRun = true
+			eng.Reference = ref
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Conv2D(nil, nil, d, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConvLowering(b *testing.B) {
+	d := tensor.ConvDims{N: 1, C: 64, H: 28, W: 28, K: 64, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.RandomUniform(1, 1, d.N, d.C, d.H, d.W)
+	kernel := tensor.RandomUniform(2, 1, d.K, d.C, d.R, d.S)
+	b.Run("im2col", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			km := tensor.KernelMatrix(kernel, d, 0)
+			cols := tensor.Im2Col(in, d, 0)
+			tensor.GEMM(km, cols)
+		}
+	})
+	b.Run("implicit1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.ConvGEMMImplicit(in, kernel, d, 1)
+		}
+	})
+	b.Run("implicit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.ConvGEMMImplicit(in, kernel, d, 0)
+		}
+	})
+}
+
+// benchGraph builds a four-branch CNN executed purely on the CPU operator
+// inventory, so the benchmark isolates executor scheduling.
+func benchGraph() (*graph.Graph, map[string]*tensor.Tensor) {
+	g := graph.New("bench")
+	in := g.Input("data", 1, 8, 28, 28)
+	stemW := g.Constant("stem_w", tensor.RandomUniform(1, 1, 16, 8, 3, 3))
+	stem := g.Conv2D("stem", in, stemW, graph.Attrs{PadH: 1, PadW: 1})
+	var branches []*graph.Node
+	for i := 0; i < 4; i++ {
+		w := g.Constant(fmt.Sprintf("w%d", i), tensor.RandomUniform(int64(2+i), 1, 16, 16, 3, 3))
+		c := g.Conv2D(fmt.Sprintf("conv%d", i), stem, w, graph.Attrs{PadH: 1, PadW: 1})
+		branches = append(branches, g.ReLU(fmt.Sprintf("relu%d", i), c))
+	}
+	l := g.Add("l", branches[0], branches[1])
+	r := g.Add("r", branches[2], branches[3])
+	g.MarkOutput(g.Add("out", l, r))
+	return g, map[string]*tensor.Tensor{"data": tensor.RandomUniform(9, 1, 1, 8, 28, 28)}
+}
+
+func BenchmarkGraphExec(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+			workers = -1
+		}
+		b.Run(name, func(b *testing.B) {
+			g, feeds := benchGraph()
+			ex := &graph.Executor{Graph: g, Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Run(feeds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

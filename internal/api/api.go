@@ -54,31 +54,34 @@ func Conv2DNCHW(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m 
 }
 
 // convViaGEMM lowers a convolution to per-group GEMMs for the architectures
-// without native convolution support (§V-B-2/3).
+// without native convolution support (§V-B-2/3). The lowering is
+// im2col-free: the simulator's counters are computed from the stationary
+// kernel matrix and the streaming shape alone (Simulator.GEMMStats), and
+// the exact arithmetic runs through the fused implicit-GEMM kernel, which
+// streams kernel-window column panels block-by-block instead of
+// materialising the (C/G·R·S) × (N·P·Q) matrix. The output is bitwise
+// identical to the materialised path (GEMM over Im2Col): both accumulate
+// each output element in ascending (C, R, S) order.
+//
+// The panel kernel runs with one worker here: a layer execution is one job,
+// and parallelism belongs to the layers above it (the simulation farm's
+// worker pool and the wavefront graph executor), so job-level serial
+// arithmetic keeps the serial paths genuinely serial and avoids
+// oversubscribing a farm that is already running one job per core. Callers
+// who want intra-conv parallelism use tensor.ConvGEMMImplicit directly.
 func convViaGEMM(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams) (*tensor.Tensor, stats.Stats, error) {
 	p, q := d.P(), d.Q()
-	kg := d.K / d.G
-	out := tensor.New(d.N, d.K, p, q)
+	cols := d.N * p * q
 	var total stats.Stats
 	for g := 0; g < d.G; g++ {
 		km := tensor.KernelMatrix(kernel, d, g) // (K/G) × (C/G·R·S), weight-stationary
-		cols := tensor.Im2Col(in, d, g)         // (C/G·R·S) × (N·P·Q), streaming
-		prod, st, err := sim.GEMM(km, cols)
+		st, err := sim.GEMMStats(km, cols)
 		if err != nil {
 			return nil, stats.Stats{}, err
 		}
 		total.Add(st)
-		for k := 0; k < kg; k++ {
-			for n := 0; n < d.N; n++ {
-				for y := 0; y < p; y++ {
-					for x := 0; x < q; x++ {
-						out.Set(prod.At(k, (n*p+y)*q+x), n, g*kg+k, y, x)
-					}
-				}
-			}
-		}
 	}
-	return out, total, nil
+	return tensor.ConvGEMMImplicit(in, kernel, d, 1), total, nil
 }
 
 // Conv2DNHWC executes a convolution with an NHWC input and RSCK kernel

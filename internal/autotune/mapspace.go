@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/stonne/config"
 	"repro/internal/stonne/energy"
@@ -9,6 +10,21 @@ import (
 	"repro/internal/stonne/mapping"
 	"repro/internal/tensor"
 )
+
+// enginePool amortises engine construction (config validation plus any
+// fabric state) across the thousands of measurements a tuning run makes.
+// Engines are not safe for concurrent use, so concurrent MeasureFunc calls
+// — e.g. under ParallelMeasurer — each check out their own engine.
+func enginePool(cfg config.HWConfig) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		eng, err := maeri.NewEngine(cfg)
+		if err != nil {
+			return (*maeri.Engine)(nil)
+		}
+		eng.DryRun = true
+		return eng
+	}}
+}
 
 // tileCandidates returns the knob values for one tile dimension: every
 // value when the dimension is small, otherwise the divisors of the
@@ -136,19 +152,24 @@ func FCPsumCost(batches, inNeurons, outNeurons, msSize int) MeasureFunc {
 }
 
 // ConvCycleCost measures a conv mapping by simulated cycle count (dry-run
-// MAERI simulation: exact counters, no arithmetic). This is the expensive
-// signal — the paper uses it only for the small Figure 10 workload.
+// MAERI simulation: exact counters, no arithmetic). Dry runs use the
+// analytical engine — per-tile-size-class closed forms instead of the
+// O(steps) loop nest — so the cycles target is now nearly as cheap as the
+// psums target and usable on ResNet-scale layers, not just the paper's
+// small Figure 10 workload. Set maeri.Engine.Reference to force the
+// step-loop reference implementation when validating the model.
 func ConvCycleCost(cfg config.HWConfig, d tensor.ConvDims) MeasureFunc {
+	pool := enginePool(cfg)
 	return func(c Config) Cost {
 		m := ConvMappingOf(c)
 		if err := m.Validate(d, cfg.MSSize); err != nil {
 			return Infeasible
 		}
-		eng, err := maeri.NewEngine(cfg)
-		if err != nil {
+		eng := pool.Get().(*maeri.Engine)
+		if eng == nil {
 			return Infeasible
 		}
-		eng.DryRun = true
+		defer pool.Put(eng)
 		_, st, err := eng.Conv2D(nil, nil, d, m)
 		if err != nil {
 			return Infeasible
@@ -161,16 +182,17 @@ func ConvCycleCost(cfg config.HWConfig, d tensor.ConvDims) MeasureFunc {
 func FCCycleCost(cfg config.HWConfig, batches, inNeurons, outNeurons int) MeasureFunc {
 	in := tensor.New(batches, inNeurons)
 	w := tensor.New(outNeurons, inNeurons)
+	pool := enginePool(cfg)
 	return func(c Config) Cost {
 		m := FCMappingOf(c)
 		if err := m.Validate(batches, inNeurons, outNeurons, cfg.MSSize); err != nil {
 			return Infeasible
 		}
-		eng, err := maeri.NewEngine(cfg)
-		if err != nil {
+		eng := pool.Get().(*maeri.Engine)
+		if eng == nil {
 			return Infeasible
 		}
-		eng.DryRun = true
+		defer pool.Put(eng)
 		_, st, err := eng.Dense(in, w, m)
 		if err != nil {
 			return Infeasible
@@ -183,16 +205,17 @@ func FCCycleCost(cfg config.HWConfig, batches, inNeurons, outNeurons int) Measur
 // future-work tuning target, §IX), via a dry-run simulation and the
 // event-based energy model.
 func ConvEnergyCost(cfg config.HWConfig, d tensor.ConvDims, model energy.Model) MeasureFunc {
+	pool := enginePool(cfg)
 	return func(c Config) Cost {
 		m := ConvMappingOf(c)
 		if err := m.Validate(d, cfg.MSSize); err != nil {
 			return Infeasible
 		}
-		eng, err := maeri.NewEngine(cfg)
-		if err != nil {
+		eng := pool.Get().(*maeri.Engine)
+		if eng == nil {
 			return Infeasible
 		}
-		eng.DryRun = true
+		defer pool.Put(eng)
 		_, st, err := eng.Conv2D(nil, nil, d, m)
 		if err != nil {
 			return Infeasible
@@ -203,16 +226,17 @@ func ConvEnergyCost(cfg config.HWConfig, d tensor.ConvDims, model energy.Model) 
 
 // ConvEDPCost measures a conv mapping by energy-delay product.
 func ConvEDPCost(cfg config.HWConfig, d tensor.ConvDims, model energy.Model) MeasureFunc {
+	pool := enginePool(cfg)
 	return func(c Config) Cost {
 		m := ConvMappingOf(c)
 		if err := m.Validate(d, cfg.MSSize); err != nil {
 			return Infeasible
 		}
-		eng, err := maeri.NewEngine(cfg)
-		if err != nil {
+		eng := pool.Get().(*maeri.Engine)
+		if eng == nil {
 			return Infeasible
 		}
-		eng.DryRun = true
+		defer pool.Put(eng)
 		_, st, err := eng.Conv2D(nil, nil, d, m)
 		if err != nil {
 			return Infeasible

@@ -13,7 +13,8 @@ import (
 // Use it for cheap, pure measure functions (the psums target) that are not
 // worth routing through the simulation farm; workers <= 0 selects
 // GOMAXPROCS. f must be safe for concurrent use — every shipped MeasureFunc
-// is, since each call builds its own engine.
+// is: the psum costs are pure functions and the cycle/energy costs check a
+// private engine out of a sync.Pool per call.
 func ParallelMeasurer(workers int, f MeasureFunc) Measurer {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -59,8 +60,10 @@ func (p parallelMeasurer) MeasureBatch(cfgs []Config) []Cost {
 // through the simulation farm: feasible configurations become dry-run jobs
 // that execute concurrently across the farm's workers, and repeated
 // configurations — common across tuner generations and repeated sweeps —
-// are served from the content-addressed cache. Costs are identical to
-// ConvCycleCost's.
+// are served from the content-addressed cache. Dry-run jobs take the
+// analytical fast path (closed-form per tile-size class), so each
+// measurement is O(boundary classes) rather than O(steps). Costs are
+// identical to ConvCycleCost's.
 func FarmConvCycleMeasurer(f *farm.Farm, cfg config.HWConfig, d tensor.ConvDims) Measurer {
 	return farmCycleMeasurer{
 		farm: f,

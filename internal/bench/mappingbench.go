@@ -67,7 +67,8 @@ func tunedFCMapping(fm *farm.Farm, l models.LayerSpec, ms int) (mapping.FCMappin
 	return autotune.FCMappingOf(res.Best.Config), nil
 }
 
-// dryCycles measures a mapping's cycle count with a dry-run MAERI engine,
+// dryCycles measures a mapping's cycle count with a dry-run MAERI engine —
+// the analytical fast path, bit-identical to the step-loop reference —
 // through the farm (cached, deduplicated) when one is provided.
 func dryCycles(f *farm.Farm, cfg config.HWConfig, l models.LayerSpec, cm mapping.ConvMapping, fcm mapping.FCMapping) (int64, error) {
 	if f != nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/api"
 	"repro/internal/farm"
@@ -52,8 +53,18 @@ type Session struct {
 	DefaultConvMapping *mapping.ConvMapping
 	DefaultFCMapping   *mapping.FCMapping
 
+	// ExecWorkers configures the graph executor: 0 or 1 runs nodes
+	// serially; > 1 enables wavefront scheduling so independent branches
+	// of the model execute concurrently (each offloaded layer submitting
+	// its own simulation, which a farm then runs in parallel); < 0 selects
+	// GOMAXPROCS. Outputs and the per-layer record set are bit-identical
+	// to serial execution; records are reported in topological order
+	// either way.
+	ExecWorkers int
+
 	farm *farm.Farm
 
+	recmu   sync.Mutex
 	records []api.LayerRecord
 }
 
@@ -151,8 +162,25 @@ func (s *Session) Run(g *graph.Graph, feeds map[string]*tensor.Tensor) ([]*tenso
 		return nil, err
 	}
 	s.records = s.records[:0]
-	ex := &graph.Executor{Graph: g, Offload: s.offload}
-	return ex.Run(feeds)
+	ex := &graph.Executor{Graph: g, Offload: s.offload, Workers: s.ExecWorkers}
+	outs, err := ex.Run(feeds)
+	if err != nil {
+		return nil, err
+	}
+	if s.ExecWorkers > 1 || s.ExecWorkers < 0 {
+		// Wavefront execution appends records in completion order; restore
+		// the deterministic topological order serial execution reports.
+		order, err := g.TopoSort()
+		if err != nil {
+			return nil, err
+		}
+		pos := make(map[string]int, len(order))
+		for i, n := range order {
+			pos[n.Name] = i
+		}
+		sort.SliceStable(s.records, func(i, j int) bool { return pos[s.records[i].Name] < pos[s.records[j].Name] })
+	}
+	return outs, nil
 }
 
 // offload is the graph.OffloadFunc that redirects conv2d and dense nodes to
@@ -211,9 +239,11 @@ func (s *Session) offloadConv(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tens
 			return nil, false, fmt.Errorf("verification failed for conv2d %q: max diff %v", n.Name, tensor.MaxAbsDiff(want, out))
 		}
 	}
+	s.recmu.Lock()
 	s.records = append(s.records, api.LayerRecord{
 		Name: n.Name, Op: "conv2d", Arch: s.cfg.Controller, Mapping: m.String(), Stats: st,
 	})
+	s.recmu.Unlock()
 	return out, true, nil
 }
 
@@ -241,9 +271,11 @@ func (s *Session) offloadDense(n *graph.Node, ins []*tensor.Tensor) (*tensor.Ten
 			return nil, false, fmt.Errorf("verification failed for dense %q: max diff %v", n.Name, tensor.MaxAbsDiff(want, out))
 		}
 	}
+	s.recmu.Lock()
 	s.records = append(s.records, api.LayerRecord{
 		Name: n.Name, Op: "dense", Arch: s.cfg.Controller, Mapping: "T_S, T_K, T_N = " + m.String(), Stats: st,
 	})
+	s.recmu.Unlock()
 	return out, true, nil
 }
 

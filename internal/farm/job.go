@@ -70,7 +70,9 @@ type Job struct {
 	Seed int64
 
 	// DryRun executes a counters-only MAERI simulation (exact cycles, no
-	// arithmetic) — the measurement mode of the AutoTVM cycles target.
+	// arithmetic) — the measurement mode of the AutoTVM cycles target. Dry
+	// runs take the analytical fast path: closed-form per-tile-size-class
+	// cost, bit-identical to the step-loop reference.
 	DryRun bool
 }
 

@@ -32,6 +32,11 @@ func NewDistributionNetwork(bandwidth int) (*DistributionNetwork, error) {
 	return &DistributionNetwork{Bandwidth: bandwidth}, nil
 }
 
+// Reset clears the counters so the network can be reused for a new layer.
+func (d *DistributionNetwork) Reset() {
+	d.Elements, d.Cycles = 0, 0
+}
+
 // Deliver accounts for the distribution of `unique` distinct values and
 // returns the number of cycles the transfer occupies the network.
 func (d *DistributionNetwork) Deliver(unique int64) int64 {
@@ -73,6 +78,11 @@ func NewReductionNetwork(kind ReduceKind, bandwidth int) (*ReductionNetwork, err
 		return nil, fmt.Errorf("fabric: reduction bandwidth must be ≥ 1, got %d", bandwidth)
 	}
 	return &ReductionNetwork{Kind: kind, Bandwidth: bandwidth}, nil
+}
+
+// Reset clears the counters so the network can be reused for a new layer.
+func (r *ReductionNetwork) Reset() {
+	r.Psums, r.Drains, r.Cycles = 0, 0, 0
 }
 
 // Depth returns the pipeline depth (in cycles) of the tree for a virtual
@@ -147,6 +157,11 @@ type AccumulationBuffer struct {
 // NewAccumulationBuffer returns a buffer model.
 func NewAccumulationBuffer(present bool) *AccumulationBuffer {
 	return &AccumulationBuffer{Present: present}
+}
+
+// Reset clears the counters so the buffer can be reused for a new layer.
+func (a *AccumulationBuffer) Reset() {
+	a.Writes, a.Reads, a.recirculated = 0, 0, 0
 }
 
 // Accumulate records `n` partial results being accumulated. `first` marks

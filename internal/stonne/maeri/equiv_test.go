@@ -1,0 +1,186 @@
+package maeri
+
+import (
+	"testing"
+
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/mapping"
+	"repro/internal/tensor"
+)
+
+// The equivalence suite proves the analytical dry-run engine bit-identical
+// to the step-loop reference across a grid of geometries, mappings and
+// hardware configurations — including boundary-heavy tiles (dimensions not
+// divisible by their tile), grouped convolutions and strided layers.
+
+func maeriCfg(msSize, dnBW, rnBW int, accum bool, rn config.ReduceNetworkType) config.HWConfig {
+	cfg := config.Default(config.MAERIDenseWorkload)
+	cfg.MSSize = msSize
+	cfg.DNBandwidth = dnBW
+	cfg.RNBandwidth = rnBW
+	cfg.AccumBuffer = accum
+	cfg.ReduceNetwork = rn
+	return cfg.Normalize()
+}
+
+func TestAnalyticConvMatchesReference(t *testing.T) {
+	dims := []tensor.ConvDims{
+		{N: 1, C: 4, H: 8, W: 8, K: 8, R: 3, S: 3, PadH: 1, PadW: 1},
+		{N: 2, C: 6, H: 7, W: 9, K: 4, R: 3, S: 3},
+		{N: 1, C: 8, H: 11, W: 11, K: 8, R: 3, S: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+		{N: 1, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3, G: 2, PadH: 1, PadW: 1},
+		{N: 3, C: 6, H: 9, W: 9, K: 6, R: 5, S: 5, G: 3, StrideH: 2, StrideW: 2, PadH: 2, PadW: 2},
+		{N: 1, C: 5, H: 13, W: 13, K: 7, R: 1, S: 1},
+	}
+	maps := []mapping.ConvMapping{
+		{TR: 1, TS: 1, TC: 1, TK: 1, TG: 1, TN: 1, TX: 1, TY: 1},
+		{TR: 3, TS: 3, TC: 1, TK: 2, TG: 1, TN: 1, TX: 2, TY: 2},
+		{TR: 2, TS: 2, TC: 3, TK: 1, TG: 1, TN: 1, TX: 3, TY: 2},  // boundary-heavy: 2∤3, 3∤8
+		{TR: 1, TS: 3, TC: 2, TK: 3, TG: 1, TN: 1, TX: 4, TY: 3},  // boundary on C, K, X, Y
+		{TR: 3, TS: 1, TC: 1, TK: 2, TG: 2, TN: 1, TX: 2, TY: 5},  // G tile > 1
+	}
+	cfgs := []config.HWConfig{
+		maeriCfg(256, 4, 4, true, config.ASNetwork),
+		maeriCfg(256, 1, 1, false, config.ASNetwork),
+		maeriCfg(256, 8, 2, true, config.FENetwork),
+		maeriCfg(256, 2, 8, false, config.FENetwork),
+	}
+	for _, d := range dims {
+		for _, m := range maps {
+			if err := m.Validate(d, 256); err != nil {
+				continue // mapping not legal for this geometry; skip
+			}
+			for _, cfg := range cfgs {
+				eng, err := NewEngine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.DryRun = true
+				_, fast, err := eng.Conv2D(nil, nil, d, m)
+				if err != nil {
+					t.Fatalf("analytic: %v", err)
+				}
+				eng.Reference = true
+				_, ref, err := eng.Conv2D(nil, nil, d, m)
+				if err != nil {
+					t.Fatalf("reference: %v", err)
+				}
+				if fast != ref {
+					t.Errorf("dims=%+v mapping=[%s] accum=%v dn=%d rn=%d %s:\n analytic %+v\n reference %+v",
+						d, m, cfg.AccumBuffer, cfg.DNBandwidth, cfg.RNBandwidth, cfg.ReduceNetwork, fast, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyticDenseMatchesReference(t *testing.T) {
+	type geo struct{ m, k, n int }
+	geos := []geo{
+		{1, 256, 64},
+		{3, 100, 37}, // boundary on every axis for most tiles
+		{2, 17, 5},
+	}
+	maps := []mapping.FCMapping{
+		{TS: 1, TN: 1, TK: 1},
+		{TS: 4, TN: 1, TK: 8},
+		{TS: 5, TN: 1, TK: 3}, // boundary-heavy
+		{TS: 2, TN: 2, TK: 7},
+	}
+	cfgs := []config.HWConfig{
+		maeriCfg(256, 4, 4, true, config.ASNetwork),
+		maeriCfg(256, 1, 2, false, config.FENetwork),
+		maeriCfg(256, 8, 1, true, config.FENetwork),
+	}
+	for _, g := range geos {
+		in := tensor.New(g.m, g.k)
+		w := tensor.New(g.n, g.k)
+		for _, m := range maps {
+			if err := m.Validate(g.m, g.k, g.n, 256); err != nil {
+				continue
+			}
+			for _, cfg := range cfgs {
+				eng, err := NewEngine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.DryRun = true
+				_, fast, err := eng.Dense(in, w, m)
+				if err != nil {
+					t.Fatalf("analytic: %v", err)
+				}
+				eng.Reference = true
+				_, ref, err := eng.Dense(in, w, m)
+				if err != nil {
+					t.Fatalf("reference: %v", err)
+				}
+				if fast != ref {
+					t.Errorf("geo=%+v mapping=%s cfg=%+v:\n analytic %+v\n reference %+v", g, m, cfg, fast, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestDryRunMatchesFullRun ties the dry-run paths to the full-accuracy
+// simulation: the counters must be identical whether or not arithmetic is
+// performed.
+func TestDryRunMatchesFullRun(t *testing.T) {
+	d := tensor.ConvDims{N: 1, C: 6, H: 9, W: 9, K: 4, R: 3, S: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	m := mapping.ConvMapping{TR: 2, TS: 3, TC: 4, TK: 3, TG: 1, TN: 1, TX: 2, TY: 3}
+	cfg := maeriCfg(512, 4, 4, true, config.ASNetwork)
+	in := tensor.RandomUniform(42, 1, 1, 9, 9, 6)
+	ker := tensor.RandomUniform(7, 1, 3, 3, 6, 4)
+
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, full, err := eng.Conv2D(in, ker, d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.DryRun = true
+	_, dry, err := eng.Conv2D(nil, nil, d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry != full {
+		t.Errorf("dry-run stats diverge from full run:\n dry  %+v\n full %+v", dry, full)
+	}
+}
+
+// TestEngineReuse exercises the fabric-reuse path: repeated calls on one
+// engine must report the same stats as fresh engines (counters reset).
+func TestEngineReuse(t *testing.T) {
+	d := tensor.ConvDims{N: 1, C: 4, H: 8, W: 8, K: 4, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	m := mapping.ConvMapping{TR: 3, TS: 3, TC: 2, TK: 2, TG: 1, TN: 1, TX: 2, TY: 2}
+	cfg := maeriCfg(256, 4, 4, false, config.ASNetwork)
+	in := tensor.RandomUniform(1, 1, 1, 8, 8, 4)
+	ker := tensor.RandomUniform(2, 1, 3, 3, 4, 4)
+
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, st1, err := eng.Conv2D(in, ker, d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, st2, err := eng.Conv2D(in, ker, d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Errorf("second call on reused engine reported different stats:\n first  %+v\n second %+v", st1, st2)
+	}
+	if tensor.MaxAbsDiff(out1, out2) != 0 {
+		t.Error("second call on reused engine produced different outputs")
+	}
+}

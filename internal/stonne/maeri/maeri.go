@@ -27,13 +27,43 @@ import (
 
 // Engine simulates one MAERI instance. Engines are cheap: Bifrost creates a
 // new instance per offloaded layer ("Create a new instance of STONNE", §V).
+// An Engine reuses its fabric models across calls and is therefore not safe
+// for concurrent use; create one engine per goroutine.
 type Engine struct {
 	cfg config.HWConfig
 
 	// DryRun skips output arithmetic while keeping every counter exact;
 	// cycle counts do not depend on operand values for the dense MAERI
-	// pipeline. Used by mapping search loops.
+	// pipeline. Used by mapping search loops. Dry runs take the analytical
+	// fast path: interior tile steps with identical effective tile sizes
+	// have identical cost, so the loop nest collapses to at most two size
+	// classes per axis and the per-class cost is multiplied by the class
+	// count — O(boundary classes) instead of O(steps), with bit-identical
+	// Stats (proven by the equivalence tests).
 	DryRun bool
+
+	// Reference forces the step-loop reference implementation even for dry
+	// runs. It exists to validate the analytical engine and to reproduce
+	// its derivation; production tuning loops leave it false.
+	Reference bool
+
+	// Fabrics are created lazily on the first full-accuracy call and reset
+	// (counters zeroed) on each subsequent call, avoiding the per-call
+	// allocation churn tuner loops used to pay. The analytical dry-run path
+	// needs no fabric objects at all.
+	dn *fabric.DistributionNetwork
+	rn *fabric.ReductionNetwork
+	ab *fabric.AccumulationBuffer
+}
+
+// eff clamps a tile that would run past its dimension: the effective size
+// of the tile starting at base. Shared by the conv and dense loop nests and
+// by the analytical engine's class decomposition.
+func eff(base, tile, dim int) int {
+	if base+tile > dim {
+		return dim - base
+	}
+	return tile
 }
 
 // NewEngine validates the hardware configuration and returns an engine.
@@ -47,20 +77,29 @@ func NewEngine(cfg config.HWConfig) (*Engine, error) {
 	return &Engine{cfg: cfg}, nil
 }
 
-func (e *Engine) newFabrics() (*fabric.DistributionNetwork, *fabric.ReductionNetwork, *fabric.AccumulationBuffer, error) {
-	dn, err := fabric.NewDistributionNetwork(e.cfg.DNBandwidth)
-	if err != nil {
-		return nil, nil, nil, err
+// fabrics returns the engine's fabric models, creating them on first use
+// and resetting their counters on every call thereafter.
+func (e *Engine) fabrics() (*fabric.DistributionNetwork, *fabric.ReductionNetwork, *fabric.AccumulationBuffer, error) {
+	if e.dn == nil {
+		dn, err := fabric.NewDistributionNetwork(e.cfg.DNBandwidth)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		kind := fabric.ART
+		if e.cfg.ReduceNetwork == config.FENetwork {
+			kind = fabric.FEN
+		}
+		rn, err := fabric.NewReductionNetwork(kind, e.cfg.RNBandwidth)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		e.dn, e.rn, e.ab = dn, rn, fabric.NewAccumulationBuffer(e.cfg.AccumBuffer)
+		return e.dn, e.rn, e.ab, nil
 	}
-	kind := fabric.ART
-	if e.cfg.ReduceNetwork == config.FENetwork {
-		kind = fabric.FEN
-	}
-	rn, err := fabric.NewReductionNetwork(kind, e.cfg.RNBandwidth)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return dn, rn, fabric.NewAccumulationBuffer(e.cfg.AccumBuffer), nil
+	e.dn.Reset()
+	e.rn.Reset()
+	e.ab.Reset()
+	return e.dn, e.rn, e.ab, nil
 }
 
 // uniqueSpan returns the number of distinct input coordinates touched along
@@ -95,7 +134,11 @@ func (e *Engine) Conv2D(in, kernel *tensor.Tensor, d tensor.ConvDims, m mapping.
 			return nil, stats.Stats{}, fmt.Errorf("maeri: kernel shape %v is not RSCK [%d %d %d %d]", kernel.Shape(), d.R, d.S, d.C/d.G, d.K)
 		}
 	}
-	dn, rn, ab, err := e.newFabrics()
+	if e.DryRun && !e.Reference {
+		st := e.analyticConv(d, m)
+		return nil, st, nil
+	}
+	dn, rn, ab, err := e.fabrics()
 	if err != nil {
 		return nil, stats.Stats{}, err
 	}
@@ -109,12 +152,6 @@ func (e *Engine) Conv2D(in, kernel *tensor.Tensor, d tensor.ConvDims, m mapping.
 	var st stats.Stats
 	st.Multipliers = e.cfg.MSSize
 
-	eff := func(base, tile, dim int) int {
-		if base+tile > dim {
-			return dim - base
-		}
-		return tile
-	}
 	var cycles int64
 
 	// Temporal loop nest. The reduction-space tiles (c, r, s) and the
@@ -267,7 +304,11 @@ func (e *Engine) Dense(in, weights *tensor.Tensor, m mapping.FCMapping) (*tensor
 	if err := m.Validate(batches, inN, outN, e.cfg.MSSize); err != nil {
 		return nil, stats.Stats{}, err
 	}
-	dn, rn, ab, err := e.newFabrics()
+	if e.DryRun && !e.Reference {
+		st := e.analyticDense(batches, inN, outN, m)
+		return nil, st, nil
+	}
+	dn, rn, ab, err := e.fabrics()
 	if err != nil {
 		return nil, stats.Stats{}, err
 	}
@@ -278,12 +319,6 @@ func (e *Engine) Dense(in, weights *tensor.Tensor, m mapping.FCMapping) (*tensor
 	}
 	var st stats.Stats
 	st.Multipliers = e.cfg.MSSize
-	eff := func(base, tile, dim int) int {
-		if base+tile > dim {
-			return dim - base
-		}
-		return tile
-	}
 	var cycles int64
 
 	for s0 := 0; s0 < outN; s0 += m.TS {

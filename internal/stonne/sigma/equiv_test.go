@@ -1,0 +1,99 @@
+package sigma
+
+import (
+	"testing"
+
+	"repro/internal/stonne/config"
+	"repro/internal/tensor"
+)
+
+// TestGEMMStatsMatchesSimulation proves the O(nnz) stats pass bit-identical
+// to the full chunk-by-chunk simulation across sparsity levels, accumulation
+// buffer settings and awkward (non-multiple-of-ms_size) shapes.
+func TestGEMMStatsMatchesSimulation(t *testing.T) {
+	type geo struct{ s, k, m int }
+	geos := []geo{
+		{8, 16, 5},
+		{13, 29, 7}, // rows spanning chunk boundaries
+		{4, 4, 1},
+		{31, 9, 12},
+	}
+	sparsities := []float64{0, 0.3, 0.9, 1}
+	for _, accum := range []bool{true, false} {
+		for _, g := range geos {
+			for si, sp := range sparsities {
+				cfg := config.Default(config.SIGMASparseGEMM)
+				cfg.AccumBuffer = accum
+				cfg = cfg.Normalize()
+				stationary := tensor.RandomUniform(int64(100*si+g.s), 1, g.s, g.k)
+				tensor.Prune(stationary, sp)
+				streaming := tensor.RandomUniform(7, 1, g.k, g.m)
+
+				full, err := NewEngine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, want, err := full.GEMM(stationary, streaming)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := full.GEMMStats(stationary, g.m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("geo=%+v sparsity=%.1f accum=%v:\n stats pass %+v\n simulation %+v", g, sp, accum, got, want)
+				}
+
+				// The dry-run engine takes the same fast path.
+				dry, err := NewEngine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dry.DryRun = true
+				out, dryStats, err := dry.GEMM(stationary, streaming)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out != nil {
+					t.Error("dry-run GEMM returned an output tensor")
+				}
+				if dryStats != want {
+					t.Errorf("geo=%+v sparsity=%.1f accum=%v: dry-run stats diverge:\n dry %+v\n sim %+v", g, sp, accum, dryStats, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDenseDryRun checks the dense dry-run shortcut against the full path.
+func TestDenseDryRun(t *testing.T) {
+	cfg := config.Default(config.SIGMASparseGEMM).Normalize()
+	in := tensor.RandomUniform(3, 1, 4, 32)
+	w := tensor.RandomUniform(4, 1, 10, 32)
+	tensor.Prune(w, 0.5)
+
+	full, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := full.Dense(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry.DryRun = true
+	out, got, err := dry.Dense(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Error("dry-run dense returned an output tensor")
+	}
+	if got != want {
+		t.Errorf("dense dry-run stats diverge:\n dry %+v\n sim %+v", got, want)
+	}
+}

@@ -20,9 +20,43 @@ import (
 	"repro/internal/tensor"
 )
 
-// Engine simulates one SIGMA instance.
+// Engine simulates one SIGMA instance. An Engine reuses its fabric models
+// across calls and is therefore not safe for concurrent use; create one
+// engine per goroutine.
 type Engine struct {
 	cfg config.HWConfig
+
+	// DryRun skips output arithmetic while keeping every counter exact.
+	// SIGMA's per-column costs are identical across the streaming matrix's
+	// columns, so the dry run folds the column loop into a multiplication
+	// and needs only the stationary operand — O(nnz) instead of
+	// O(nnz × columns).
+	DryRun bool
+
+	dn *fabric.DistributionNetwork
+	rn *fabric.ReductionNetwork
+	ab *fabric.AccumulationBuffer
+}
+
+// fabrics returns the engine's fabric models, creating them on first use
+// and resetting their counters on every call thereafter.
+func (e *Engine) fabrics() (*fabric.DistributionNetwork, *fabric.ReductionNetwork, *fabric.AccumulationBuffer, error) {
+	if e.dn == nil {
+		dn, err := fabric.NewDistributionNetwork(e.cfg.DNBandwidth)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rn, err := fabric.NewReductionNetwork(fabric.FEN, e.cfg.RNBandwidth)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		e.dn, e.rn, e.ab = dn, rn, fabric.NewAccumulationBuffer(e.cfg.AccumBuffer)
+		return e.dn, e.rn, e.ab, nil
+	}
+	e.dn.Reset()
+	e.rn.Reset()
+	e.ab.Reset()
+	return e.dn, e.rn, e.ab, nil
 }
 
 // NewEngine validates the hardware configuration and returns an engine.
@@ -97,15 +131,14 @@ func (e *Engine) GEMM(stationary, streaming *tensor.Tensor) (*tensor.Tensor, sta
 	if k != k2 {
 		return nil, stats.Stats{}, fmt.Errorf("sigma: GEMM inner dimensions differ: %v × %v", stationary.Shape(), streaming.Shape())
 	}
-	dn, err := fabric.NewDistributionNetwork(e.cfg.DNBandwidth)
+	if e.DryRun {
+		st, err := e.GEMMStats(stationary, m)
+		return nil, st, err
+	}
+	dn, rn, ab, err := e.fabrics()
 	if err != nil {
 		return nil, stats.Stats{}, err
 	}
-	rn, err := fabric.NewReductionNetwork(fabric.FEN, e.cfg.RNBandwidth)
-	if err != nil {
-		return nil, stats.Stats{}, err
-	}
-	ab := fabric.NewAccumulationBuffer(e.cfg.AccumBuffer)
 
 	// The memory controller compresses the stationary operand. Metadata
 	// (bitmap) travels out of band; only values use multiplier slots.
@@ -199,6 +232,106 @@ func (e *Engine) GEMM(stationary, streaming *tensor.Tensor) (*tensor.Tensor, sta
 	return out, st, nil
 }
 
+// GEMMStats computes the statistics of GEMM(stationary, streaming) for a
+// streaming operand of `streamCols` columns without performing arithmetic
+// and without materialising the streaming matrix at all — SIGMA's cycle
+// and traffic counters depend only on the stationary operand's nonzero
+// structure and the column count. The memory-controller chunking of the
+// full simulation is replayed in a single O(nnz) pass over the stationary
+// matrix: every column of a chunk costs the same, so the per-column cost is
+// computed once and multiplied by streamCols. Stats are bit-identical to
+// the full simulation's (proven by the equivalence tests).
+func (e *Engine) GEMMStats(stationary *tensor.Tensor, streamCols int) (stats.Stats, error) {
+	if stationary.Rank() != 2 {
+		return stats.Stats{}, fmt.Errorf("sigma: GEMMStats requires a 2-D stationary operand, got %v", stationary.Shape())
+	}
+	if streamCols < 0 {
+		return stats.Stats{}, fmt.Errorf("sigma: GEMMStats streaming column count must be ≥ 0, got %d", streamCols)
+	}
+	s, k := stationary.Dim(0), stationary.Dim(1)
+	m := int64(streamCols)
+	dnBW, rnBW := int64(e.cfg.DNBandwidth), int64(e.cfg.RNBandwidth)
+	present := e.cfg.AccumBuffer
+	ms := e.cfg.MSSize
+
+	var st stats.Stats
+	st.Multipliers = ms
+	st.Outputs = int64(s) * m
+	var cycles, dnElems int64
+
+	ceil := func(n, bw int64) int64 {
+		if n <= 0 {
+			return 0
+		}
+		return (n + bw - 1) / bw
+	}
+
+	// flush accounts for one full or final chunk of the stationary fill.
+	flush := func(chunkLen, uniqueK, segments, continued int64) {
+		cycles += ceil(chunkLen, dnBW) // stationary fill
+		dnElems += chunkLen
+		st.WeightLoads += chunkLen
+		var recirc int64
+		if !present {
+			recirc = continued
+		}
+		inCycles := ceil(uniqueK, dnBW)
+		if recirc > 0 {
+			inCycles += ceil(recirc, dnBW)
+		}
+		segPsums := chunkLen - segments
+		drain := ceil(segments, rnBW)
+		cycles += m * max(inCycles, drain, 1)
+		dnElems += m * (uniqueK + recirc)
+		st.SpatialPsums += m * segPsums
+		st.Steps += m
+		st.MACs += m * chunkLen
+		st.AccumWrites += m * segments
+		st.InputLoads += m * uniqueK
+	}
+
+	// One streaming pass over the stationary matrix replays the chunking.
+	stD := stationary.Data()
+	seenRow := make([]bool, s)
+	var chunkLen, uniqueK, segments, continued int64
+	lastK, lastRow := -1, -1
+	for r := 0; r < s; r++ {
+		for c := 0; c < k; c++ {
+			if stD[r*k+c] == 0 {
+				continue
+			}
+			if chunkLen == int64(ms) {
+				flush(chunkLen, uniqueK, segments, continued)
+				chunkLen, uniqueK, segments, continued = 0, 0, 0, 0
+				lastK, lastRow = -1, -1
+			}
+			chunkLen++
+			if c != lastK {
+				uniqueK++
+				lastK = c
+			}
+			if r != lastRow {
+				segments++
+				lastRow = r
+				if seenRow[r] {
+					continued++
+				}
+				seenRow[r] = true
+			}
+		}
+	}
+	if chunkLen > 0 {
+		flush(chunkLen, uniqueK, segments, continued)
+	}
+
+	// FAN pipeline drain for the widest segment (bounded by the chunk).
+	rn := fabric.ReductionNetwork{Kind: fabric.FEN}
+	cycles += int64(rn.Depth(min(ms, k))) + 1
+	st.Cycles = cycles
+	st.DNElements = dnElems
+	return st, nil
+}
+
 // Dense executes a fully connected layer (input [M, K] × weights [S, K] →
 // [M, S]) with the weights stationary, the orientation SIGMA uses for
 // sparse DNN inference.
@@ -208,6 +341,10 @@ func (e *Engine) Dense(in, weights *tensor.Tensor) (*tensor.Tensor, stats.Stats,
 	}
 	if in.Dim(1) != weights.Dim(1) {
 		return nil, stats.Stats{}, fmt.Errorf("sigma: dense reduction mismatch: input %v vs weights %v", in.Shape(), weights.Shape())
+	}
+	if e.DryRun {
+		st, err := e.GEMMStats(weights, in.Dim(0))
+		return nil, st, err
 	}
 	prod, st, err := e.GEMM(weights, in.Transpose(1, 0)) // [S, M]
 	if err != nil {

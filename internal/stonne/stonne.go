@@ -98,3 +98,24 @@ func (s *Simulator) GEMM(a, b *tensor.Tensor) (*tensor.Tensor, stats.Stats, erro
 		return nil, stats.Stats{}, fmt.Errorf("stonne: MAERI has no raw GEMM entry point; use Dense with an FC mapping")
 	}
 }
+
+// GEMMStats computes the statistics of GEMM(stationary, streaming) for a
+// streaming operand of streamCols columns without running arithmetic and
+// without the streaming matrix ever being materialised: SIGMA's counters
+// depend only on the stationary operand's nonzero structure and the column
+// count, the TPU's only on the shapes. Stats are bit-identical to GEMM's.
+// This is what lets the API layer lower convolutions without building the
+// im2col matrix.
+func (s *Simulator) GEMMStats(stationary *tensor.Tensor, streamCols int) (stats.Stats, error) {
+	switch {
+	case s.sigmaEng != nil:
+		return s.sigmaEng.GEMMStats(stationary, streamCols)
+	case s.tpuEng != nil:
+		if stationary.Rank() != 2 {
+			return stats.Stats{}, fmt.Errorf("stonne: GEMMStats requires a 2-D stationary operand, got %v", stationary.Shape())
+		}
+		return s.tpuEng.GEMMStats(stationary.Dim(0), stationary.Dim(1), streamCols)
+	default:
+		return stats.Stats{}, fmt.Errorf("stonne: MAERI has no raw GEMM entry point; use Dense with an FC mapping")
+	}
+}

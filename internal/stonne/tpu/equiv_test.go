@@ -1,0 +1,57 @@
+package tpu
+
+import (
+	"testing"
+
+	"repro/internal/stonne/config"
+	"repro/internal/tensor"
+)
+
+// TestGEMMStatsMatchesMesh proves the closed-form stats bit-identical to
+// the cycle-ticked mesh simulation, including shapes that leave boundary
+// tiles on both output axes.
+func TestGEMMStatsMatchesMesh(t *testing.T) {
+	type geo struct{ m, k, n int }
+	geos := []geo{
+		{8, 8, 8},
+		{13, 5, 9},  // boundary tiles on both axes
+		{1, 17, 1},
+		{20, 3, 33},
+	}
+	cfg := config.Default(config.TPUOSDense).Normalize()
+	for _, g := range geos {
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := tensor.RandomUniform(int64(g.m), 1, g.m, g.k)
+		b := tensor.RandomUniform(int64(g.n), 1, g.k, g.n)
+		_, want, err := eng.GEMM(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.GEMMStats(g.m, g.k, g.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("geo=%+v:\n closed form %+v\n mesh %+v", g, got, want)
+		}
+
+		dry, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dry.DryRun = true
+		out, dryStats, err := dry.GEMM(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			t.Error("dry-run GEMM returned an output tensor")
+		}
+		if dryStats != want {
+			t.Errorf("geo=%+v: dry-run stats diverge:\n dry %+v\n mesh %+v", g, dryStats, want)
+		}
+	}
+}

@@ -18,9 +18,18 @@ import (
 	"repro/internal/tensor"
 )
 
-// Engine simulates one TPU instance.
+// Engine simulates one TPU instance. An Engine reuses its systolic mesh
+// across calls and is therefore not safe for concurrent use; create one
+// engine per goroutine.
 type Engine struct {
 	cfg config.HWConfig
+
+	// DryRun skips the cycle-ticked mesh while keeping every counter exact:
+	// the OS_MESH's per-tile cost is a closed-form function of the tile
+	// geometry, so the whole GEMM collapses to a handful of tile classes.
+	DryRun bool
+
+	mesh *fabric.SystolicMesh
 }
 
 // NewEngine validates the hardware configuration and returns an engine.
@@ -47,11 +56,19 @@ func (e *Engine) GEMM(a, b *tensor.Tensor) (*tensor.Tensor, stats.Stats, error) 
 	if k != k2 {
 		return nil, stats.Stats{}, fmt.Errorf("tpu: GEMM inner dimensions differ: %v × %v", a.Shape(), b.Shape())
 	}
-	rows, cols := e.cfg.MSRows, e.cfg.MSCols
-	mesh, err := fabric.NewSystolicMesh(rows, cols)
-	if err != nil {
-		return nil, stats.Stats{}, err
+	if e.DryRun {
+		st, err := e.GEMMStats(m, k, n)
+		return nil, st, err
 	}
+	rows, cols := e.cfg.MSRows, e.cfg.MSCols
+	if e.mesh == nil || e.mesh.Rows != rows || e.mesh.Cols != cols {
+		mesh, err := fabric.NewSystolicMesh(rows, cols)
+		if err != nil {
+			return nil, stats.Stats{}, err
+		}
+		e.mesh = mesh
+	}
+	mesh := e.mesh
 	out := tensor.New(m, n)
 	var st stats.Stats
 	st.Multipliers = rows * cols
@@ -103,6 +120,59 @@ func runTile(mesh *fabric.SystolicMesh, aTile, bTile []float32, k, tr, tc int) (
 	// receives k operands over the run.
 	elems := int64(k) * int64(tr+tc)
 	return outs, cycles, elems
+}
+
+// GEMMStats computes the statistics of an [M, K] × [K, N] GEMM in closed
+// form, without ticking the mesh: every output tile costs
+// K + Rows + Cols − 1 cycles regardless of how much of the mesh it covers
+// (zero-padded lanes tick like active ones), and the edge traffic of a tile
+// is k × (active rows + active columns), which takes at most four distinct
+// values across the tile grid. Stats are bit-identical to the cycle-ticked
+// simulation's (proven by the equivalence tests).
+func (e *Engine) GEMMStats(m, k, n int) (stats.Stats, error) {
+	if m < 1 || k < 1 || n < 1 {
+		return stats.Stats{}, fmt.Errorf("tpu: GEMMStats needs positive dims, got %d×%d×%d", m, k, n)
+	}
+	rows, cols := e.cfg.MSRows, e.cfg.MSCols
+	if rows < 1 || cols < 1 {
+		return stats.Stats{}, fmt.Errorf("tpu: mesh needs positive dims, got %dx%d", rows, cols)
+	}
+	var st stats.Stats
+	st.Multipliers = rows * cols
+	st.Outputs = int64(m) * int64(n)
+	st.MACs = int64(m) * int64(k) * int64(n)
+
+	// Tile classes along each output axis: interior tiles cover the full
+	// mesh extent, the optional boundary tile covers the remainder.
+	type class struct {
+		size  int
+		count int64
+	}
+	classes := func(dim, tile int) []class {
+		cls := []class{}
+		if full := dim / tile; full > 0 {
+			cls = append(cls, class{size: tile, count: int64(full)})
+		}
+		if rem := dim % tile; rem > 0 {
+			cls = append(cls, class{size: rem, count: 1})
+		}
+		return cls
+	}
+	tileCycles := int64(k + rows + cols - 2 + 1) // skewed drain + 1 write-back
+	var cycles int64
+	for _, rc := range classes(m, rows) {
+		for _, cc := range classes(n, cols) {
+			count := rc.count * cc.count
+			cycles += count * tileCycles
+			elems := int64(k) * int64(rc.size+cc.size)
+			st.DNElements += count * elems
+			st.InputLoads += count * elems
+			st.AccumWrites += count * int64(rc.size) * int64(cc.size)
+			st.Steps += count
+		}
+	}
+	st.Cycles = cycles
+	return st, nil
 }
 
 // Dense executes a fully connected layer: input [M, K] × weights [S, K] →

@@ -1,0 +1,174 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the fused, im2col-free GEMM lowering of convolution:
+// instead of materialising the full (C/G·R·S) × (N·P·Q) im2col matrix, the
+// streaming operand is produced one column block at a time and multiplied
+// against the kernel matrix while still hot in cache. Peak memory drops
+// from O(C·R·S·N·P·Q) to O(C·R·S·blockCols) per worker, and column blocks
+// are processed by parallel workers.
+
+// im2colBlockCols is the number of output positions one panel covers. 256
+// columns keeps a 3×3×256-channel panel comfortably inside L2 while leaving
+// enough arithmetic per panel to amortise the fill.
+const im2colBlockCols = 256
+
+// Im2ColBlock fills dst with the columns [col0, col0+width) of the im2col
+// matrix Im2Col(in, d, g) — rows × width, row-major, rows = C/G·R·S. The
+// column index enumerates output positions in (N, P, Q) order, exactly as
+// Im2Col does. dst must have room for rows × width values.
+func Im2ColBlock(in *Tensor, d ConvDims, g, col0, width int, dst []float32) {
+	if err := d.Resolve(); err != nil {
+		panic(err)
+	}
+	cg := d.C / d.G
+	p, q := d.P(), d.Q()
+	rows := cg * d.R * d.S
+	if len(dst) < rows*width {
+		panic(fmt.Sprintf("tensor: Im2ColBlock dst holds %d values, needs %d", len(dst), rows*width))
+	}
+	// Decompose each column into its (batch, output-row, output-col)
+	// coordinates once, then sweep the kernel-window rows.
+	type colCoord struct{ n, iy0, ix0 int }
+	coords := make([]colCoord, width)
+	for j := 0; j < width; j++ {
+		col := col0 + j
+		n := col / (p * q)
+		rem := col % (p * q)
+		y := rem / q
+		x := rem % q
+		coords[j] = colCoord{
+			n:   n,
+			iy0: y*d.StrideH - d.PadH,
+			ix0: x*d.StrideW - d.PadW,
+		}
+	}
+	inD := in.Data()
+	hw := d.H * d.W
+	for c := 0; c < cg; c++ {
+		ic := g*cg + c
+		for r := 0; r < d.R; r++ {
+			dy := r * d.DilationH
+			for s := 0; s < d.S; s++ {
+				dx := s * d.DilationW
+				row := (c*d.R+r)*d.S + s
+				seg := dst[row*width : (row+1)*width]
+				for j, cc := range coords {
+					iy := cc.iy0 + dy
+					ix := cc.ix0 + dx
+					if iy >= 0 && iy < d.H && ix >= 0 && ix < d.W {
+						seg[j] = inD[(cc.n*d.C+ic)*hw+iy*d.W+ix]
+					} else {
+						seg[j] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvGEMMImplicit computes a grouped 2-D convolution of an NCHW input with
+// a KCRS kernel, returning the NCHW output, via implicit GEMM: per group,
+// the kernel matrix multiplies im2col column panels that are generated
+// block-by-block and never materialised as a whole. Panels are distributed
+// over `workers` goroutines (workers <= 0 selects GOMAXPROCS); each output
+// element is written by exactly one worker and accumulated in ascending
+// (C, R, S) order with zero kernel weights skipped, so the result is
+// bitwise identical to GEMM(KernelMatrix(kernel, d, g), Im2Col(in, d, g))
+// regardless of the worker count.
+func ConvGEMMImplicit(in, kernel *Tensor, d ConvDims, workers int) *Tensor {
+	if err := d.Resolve(); err != nil {
+		panic(err)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p, q := d.P(), d.Q()
+	cg, kg := d.C/d.G, d.K/d.G
+	rows := cg * d.R * d.S
+	cols := d.N * p * q
+	pq := p * q
+	out := New(d.N, d.K, p, q)
+	outD := out.Data()
+
+	nBlocks := (cols + im2colBlockCols - 1) / im2colBlockCols
+	for g := 0; g < d.G; g++ {
+		km := KernelMatrix(kernel, d, g) // kg × rows, weight-stationary
+		kmD := km.Data()
+		kgBase := g * kg
+
+		run := func(panel, acc []float32, block int) {
+			col0 := block * im2colBlockCols
+			width := min(im2colBlockCols, cols-col0)
+			Im2ColBlock(in, d, g, col0, width, panel[:rows*width])
+			acc = acc[:kg*width]
+			for i := range acc {
+				acc[i] = 0
+			}
+			for kk := 0; kk < kg; kk++ {
+				wrow := kmD[kk*rows : (kk+1)*rows]
+				crow := acc[kk*width : (kk+1)*width]
+				for l, wv := range wrow {
+					if wv == 0 {
+						continue
+					}
+					brow := panel[l*width : (l+1)*width]
+					for j := range crow {
+						crow[j] += wv * brow[j]
+					}
+				}
+			}
+			// Scatter the block into the NCHW output: column col maps to
+			// batch col/(P·Q) and plane offset col%(P·Q), so each row of
+			// acc copies out in contiguous runs within one batch.
+			for kk := 0; kk < kg; kk++ {
+				ch := kgBase + kk
+				j := 0
+				for j < width {
+					col := col0 + j
+					n := col / pq
+					rem := col % pq
+					runLen := min(width-j, pq-rem)
+					dst := outD[(n*d.K+ch)*pq+rem:]
+					copy(dst[:runLen], acc[kk*width+j:kk*width+j+runLen])
+					j += runLen
+				}
+			}
+		}
+
+		nw := min(workers, nBlocks)
+		if nw <= 1 {
+			panel := make([]float32, rows*im2colBlockCols)
+			acc := make([]float32, kg*im2colBlockCols)
+			for b := 0; b < nBlocks; b++ {
+				run(panel, acc, b)
+			}
+			continue
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				panel := make([]float32, rows*im2colBlockCols)
+				acc := make([]float32, kg*im2colBlockCols)
+				for {
+					b := int(next.Add(1)) - 1
+					if b >= nBlocks {
+						return
+					}
+					run(panel, acc, b)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return out
+}

@@ -1,6 +1,11 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // GEMM computes C = A × B for 2-D tensors A (M×K) and B (K×N).
 // This is the reference matrix multiply used by the CPU target and by the
@@ -33,15 +38,22 @@ func GEMM(a, b *Tensor) *Tensor {
 	return out
 }
 
-// GEMMBlocked computes C = A × B with cache blocking. Results are bitwise
-// identical in structure to GEMM only up to float summation order, so the
-// two are compared with a tolerance in tests.
+// GEMMBlocked computes C = A × B with cache blocking. The reduction axis is
+// traversed in ascending order within each row exactly as GEMM does, so the
+// per-element summation order — and therefore the float32 result — is
+// bitwise identical to GEMM's.
 func GEMMBlocked(a, b *Tensor, block int) *Tensor {
 	if block <= 0 {
 		block = 64
 	}
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: GEMM requires 2-D operands, got %v × %v", a.shape, b.shape))
+	}
 	m, k := a.shape[0], a.shape[1]
-	_, n := b.shape[0], b.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: GEMM inner dimensions differ: %v × %v", a.shape, b.shape))
+	}
 	out := New(m, n)
 	for ii := 0; ii < m; ii += block {
 		iMax := min(ii+block, m)
@@ -63,6 +75,79 @@ func GEMMBlocked(a, b *Tensor, block int) *Tensor {
 		}
 	}
 	return out
+}
+
+// GEMMParallel computes C = A × B with cache blocking and row-band worker
+// goroutines: the M axis is split into bands, each owned by exactly one
+// worker, so no output element is ever written by two goroutines and the
+// per-element summation order (ascending K, as in GEMM) is independent of
+// the worker count — the result is bitwise identical to GEMM's.
+// workers <= 0 selects GOMAXPROCS; block <= 0 selects the GEMMBlocked
+// default.
+func GEMMParallel(a, b *Tensor, block, workers int) *Tensor {
+	if block <= 0 {
+		block = 64
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: GEMM requires 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: GEMM inner dimensions differ: %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	bands := (m + block - 1) / block
+	if workers > bands {
+		workers = bands
+	}
+	if workers <= 1 {
+		gemmRows(a.data, b.data, out.data, 0, m, k, n, block)
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				band := int(next.Add(1)) - 1
+				if band >= bands {
+					return
+				}
+				i0 := band * block
+				i1 := min(i0+block, m)
+				gemmRows(a.data, b.data, out.data, i0, i1, k, n, block)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// gemmRows computes the [i0, i1) row band of C = A × B with K blocking,
+// preserving GEMM's ascending-K per-element summation order.
+func gemmRows(a, b, c []float32, i0, i1, k, n, block int) {
+	for pp := 0; pp < k; pp += block {
+		pMax := min(pp+block, k)
+		for i := i0; i < i1; i++ {
+			crow := c[i*n : (i+1)*n]
+			for p := pp; p < pMax; p++ {
+				av := a[i*k+p]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j := range crow {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	}
 }
 
 // ConvDims describes the geometry of a 2-D convolution using the Nvidia
