@@ -81,23 +81,58 @@ func DefaultArchitecture(ct ControllerType) Architecture { return config.Default
 func NewSession(arch Architecture) (*Session, error) { return core.NewSession(arch) }
 
 // Farm is the concurrent simulation farm: a worker-pool scheduler with a
-// content-addressed result cache and single-flight deduplication. Share one
-// farm between sessions, tuners and the bifrost-serve service so identical
-// layer simulations are only ever run once:
+// content-addressed two-tier result cache and single-flight deduplication.
+// Share one farm between sessions, tuners and the bifrost-serve service so
+// identical layer simulations are only ever run once:
 //
 //	fm := bifrost.NewFarm(0) // GOMAXPROCS workers
 //	defer fm.Close()
 //	sess, _ := bifrost.NewSession(arch)
 //	sess.WithFarm(fm)
+//
+// The in-memory tier can be bounded (FarmMaxEntries / FarmMaxBytes, LRU
+// eviction), and a persistent tier (FarmDiskCache) makes results survive
+// process restarts — a cold process replaying a warm cache directory
+// returns byte-identical results with zero simulator executions:
+//
+//	disk, _ := bifrost.NewDiskStore("/var/cache/bifrost", 0)
+//	fm := bifrost.NewFarm(0, bifrost.FarmMaxEntries(10_000), bifrost.FarmDiskCache(disk))
 type Farm = farm.Farm
 
 // FarmStats is a snapshot of a farm's scheduler and cache counters (the
-// payload of bifrost-serve's /stats endpoint).
+// payload of bifrost-serve's /stats endpoint), including per-tier hit,
+// eviction and byte counts.
 type FarmStats = farm.Stats
+
+// FarmStoreStats is one cache tier's counter snapshot.
+type FarmStoreStats = farm.StoreStats
+
+// FarmOption configures a Farm at construction.
+type FarmOption = farm.Option
+
+// DiskStore is the persistent result-cache tier: one file per content
+// address under a versioned directory, atomic writes, corruption-tolerant
+// reads.
+type DiskStore = farm.DiskStore
+
+// NewDiskStore opens (or creates) a persistent result store rooted at dir;
+// maxBytes > 0 bounds its size with least-recently-used eviction.
+func NewDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
+	return farm.NewDiskStore(dir, maxBytes)
+}
+
+// FarmMaxEntries bounds the farm's in-memory cache tier to n entries (LRU).
+func FarmMaxEntries(n int) FarmOption { return farm.WithMaxEntries(n) }
+
+// FarmMaxBytes bounds the farm's in-memory cache tier to b resident bytes.
+func FarmMaxBytes(b int64) FarmOption { return farm.WithMaxBytes(b) }
+
+// FarmDiskCache attaches a persistent tier to the farm.
+func FarmDiskCache(ds *DiskStore) FarmOption { return farm.WithDiskStore(ds) }
 
 // NewFarm returns a running simulation farm; workers <= 0 selects
 // GOMAXPROCS.
-func NewFarm(workers int) *Farm { return farm.New(workers) }
+func NewFarm(workers int, opts ...FarmOption) *Farm { return farm.New(workers, opts...) }
 
 // NewTensor returns a zero-initialised tensor with the given shape — the
 // constructor external callers need to build feeds, since the tensor
@@ -179,6 +214,14 @@ type TuneOptions struct {
 	Trials        int
 	EarlyStopping int
 	Seed          int64
+
+	// Farm, when set with the cycles target, routes every measurement
+	// through the simulation farm: trials run concurrently, repeated
+	// configurations are served from the content-addressed cache, and with
+	// a persistent tier a repeated sweep costs zero simulations. The trial
+	// log is bit-identical to the serial path. Ignored for the psums
+	// target, whose closed-form cost is cheaper than a farm round trip.
+	Farm *Farm
 }
 
 func (o *TuneOptions) defaults() {
@@ -208,12 +251,16 @@ func TuneConvMapping(arch Architecture, d ConvDims, o TuneOptions) (ConvMapping,
 		return ConvMapping{}, TuneResult{}, err
 	}
 	var measure autotune.MeasureFunc
+	topts := autotune.Options{Trials: o.Trials, EarlyStopping: o.EarlyStopping, Seed: o.Seed}
 	if o.Target == TargetCycles {
 		measure = autotune.ConvCycleCost(arch, d)
+		if o.Farm != nil {
+			topts.Measurer = autotune.FarmConvCycleMeasurer(o.Farm, arch, d)
+		}
 	} else {
 		measure = autotune.ConvPsumCost(d, arch.MSSize)
 	}
-	res, err := tunerOf(o.Tuner).Tune(space, measure, autotune.Options{Trials: o.Trials, EarlyStopping: o.EarlyStopping, Seed: o.Seed})
+	res, err := tunerOf(o.Tuner).Tune(space, measure, topts)
 	if err != nil {
 		return ConvMapping{}, TuneResult{}, err
 	}
@@ -225,12 +272,16 @@ func TuneFCMapping(arch Architecture, batches, inNeurons, outNeurons int, o Tune
 	o.defaults()
 	space := autotune.FCMappingSpace(inNeurons, outNeurons, arch.MSSize)
 	var measure autotune.MeasureFunc
+	topts := autotune.Options{Trials: o.Trials, EarlyStopping: o.EarlyStopping, Seed: o.Seed}
 	if o.Target == TargetCycles {
 		measure = autotune.FCCycleCost(arch, batches, inNeurons, outNeurons)
+		if o.Farm != nil {
+			topts.Measurer = autotune.FarmFCCycleMeasurer(o.Farm, arch, batches, inNeurons, outNeurons)
+		}
 	} else {
 		measure = autotune.FCPsumCost(batches, inNeurons, outNeurons, arch.MSSize)
 	}
-	res, err := tunerOf(o.Tuner).Tune(space, measure, autotune.Options{Trials: o.Trials, EarlyStopping: o.EarlyStopping, Seed: o.Seed})
+	res, err := tunerOf(o.Tuner).Tune(space, measure, topts)
 	if err != nil {
 		return FCMapping{}, TuneResult{}, err
 	}

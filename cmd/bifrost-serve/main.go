@@ -8,6 +8,13 @@
 //
 //	bifrost-serve -addr :8087 -workers 8
 //
+//	# persistent, bounded caching: results survive restarts — a restarted
+//	# server answers previously computed jobs from disk with zero
+//	# simulator executions and byte-identical responses
+//	bifrost-serve -cache-dir /var/cache/bifrost \
+//	  -cache-max-entries 10000 -cache-max-bytes 256000000 \
+//	  -cache-disk-max-bytes 10000000000
+//
 //	# one simulation
 //	curl -s localhost:8087/simulate -d '{
 //	  "arch": {"controller": "maeri", "ms_size": 128},
@@ -40,16 +47,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bifrost-serve: ")
 	var (
-		addr    = flag.String("addr", ":8087", "listen address")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation-farm workers")
+		addr       = flag.String("addr", ":8087", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation-farm workers")
+		cacheDir   = flag.String("cache-dir", "", "persistent result-cache directory (empty = memory only)")
+		maxEntries = flag.Int("cache-max-entries", 0, "in-memory cache entry bound, LRU-evicted (0 = unbounded)")
+		maxBytes   = flag.Int64("cache-max-bytes", 0, "in-memory cache byte bound, LRU-evicted (0 = unbounded)")
+		diskMax    = flag.Int64("cache-disk-max-bytes", 0, "disk cache byte bound, LRU-evicted (0 = unbounded)")
+		execW      = flag.Int("exec-workers", 0, "default per-job arithmetic workers for GEMM-lowered convs (0/1 = serial, <0 = GOMAXPROCS); responses are byte-identical either way")
 	)
 	flag.Parse()
 
-	fm := farm.New(*workers)
+	opts := []farm.Option{farm.WithMaxEntries(*maxEntries), farm.WithMaxBytes(*maxBytes)}
+	if *cacheDir != "" {
+		ds, err := farm.NewDiskStore(*cacheDir, *diskMax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, farm.WithDiskStore(ds))
+		log.Printf("persistent cache at %s (%d entries, %d bytes warm)",
+			ds.Dir(), ds.Stats().Entries, ds.Stats().Bytes)
+	}
+	fm := farm.New(*workers, opts...)
 	defer fm.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewServer(fm),
+		Handler:           serve.NewServer(fm, serve.WithExecWorkers(*execW)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("serving on %s with %d workers", *addr, fm.Workers())

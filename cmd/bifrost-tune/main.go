@@ -8,6 +8,14 @@
 //	bifrost-tune -layer conv -c 96 -hw 27 -k 256 -r 5 -pad 2 -groups 2
 //	bifrost-tune -layer fc -in 9216 -out 4096 -tuner grid
 //	bifrost-tune -layer fc -in 4096 -out 4096 -mrna
+//
+// With -target cycles the measurements run through the simulation farm;
+// -cache-dir persists them, so re-running a sweep (to compare tuners,
+// trial budgets or seeds on the same layer) replays cached measurements
+// from disk instead of simulating:
+//
+//	bifrost-tune -layer conv -c 96 -hw 27 -k 256 -r 5 -target cycles \
+//	  -cache-dir ~/.cache/bifrost-tune
 package main
 
 import (
@@ -31,6 +39,11 @@ func main() {
 		seed    = flag.Int64("seed", 1, "search seed")
 		useMRNA = flag.Bool("mrna", false, "use the integrated mRNA mapper instead of AutoTVM")
 
+		// Farm-backed measurement (cycles target only).
+		farmWorkers = flag.Int("farm-workers", 0, "measurement-farm workers for -target cycles (0 = GOMAXPROCS)")
+		cacheDir    = flag.String("cache-dir", "", "persistent measurement cache for -target cycles (empty = memory only)")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "in-memory measurement-cache byte bound (0 = unbounded)")
+
 		// Conv geometry.
 		c      = flag.Int("c", 16, "input channels")
 		hw     = flag.Int("hw", 14, "input height/width")
@@ -51,6 +64,28 @@ func main() {
 	opts := bifrost.TuneOptions{
 		Tuner: bifrost.Tuner(*tuner), Target: bifrost.Target(*target),
 		Trials: *trials, EarlyStopping: *early, Seed: *seed,
+	}
+	var fm *bifrost.Farm
+	if bifrost.Target(*target) == bifrost.TargetCycles {
+		fopts := []bifrost.FarmOption{bifrost.FarmMaxBytes(*cacheMax)}
+		if *cacheDir != "" {
+			ds, err := bifrost.NewDiskStore(*cacheDir, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fopts = append(fopts, bifrost.FarmDiskCache(ds))
+		}
+		fm = bifrost.NewFarm(*farmWorkers, fopts...)
+		defer fm.Close()
+		opts.Farm = fm
+	}
+	report := func() {
+		if fm == nil {
+			return
+		}
+		st := fm.Stats()
+		fmt.Printf("measurements: %d simulated, %d cached (%d from disk), %d coalesced\n",
+			st.Completed, st.Hits, st.DiskHits, st.Deduped)
 	}
 
 	switch *layer {
@@ -81,6 +116,7 @@ func main() {
 		fmt.Printf("best mapping: %s\n", m)
 		fmt.Printf("cost (%s): %.0f  measured: %d  converged: %t\n",
 			*target, res.Best.Cost.Primary, res.Measured, res.Converged)
+		report()
 	case "fc":
 		fmt.Printf("fc layer: %d -> %d neurons (%d MACs)\n", *inN, *outN, int64(*inN)*int64(*outN))
 		if *useMRNA {
@@ -102,6 +138,7 @@ func main() {
 		fmt.Printf("best mapping (T_S, T_K, T_N): %s\n", m)
 		fmt.Printf("cost (%s): %.0f  measured: %d  converged: %t\n",
 			*target, res.Best.Cost.Primary, res.Measured, res.Converged)
+		report()
 	default:
 		log.Fatalf("unknown layer kind %q (want conv or fc)", *layer)
 	}

@@ -34,6 +34,18 @@ type ConvParams = tensor.ConvDims
 //     per group, the kernel becomes the (K/G)×(C/G·R·S) stationary matrix
 //     and the im2col input the (C/G·R·S)×(N·P·Q) streaming matrix.
 func Conv2DNCHW(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping) (*tensor.Tensor, stats.Stats, error) {
+	return Conv2DNCHWWorkers(cfg, in, kernel, d, m, 1)
+}
+
+// Conv2DNCHWWorkers is Conv2DNCHW with an explicit worker count for the
+// exact arithmetic of the GEMM-lowered path (SIGMA / TPU). The simulated
+// counters and the output are bitwise identical for every worker count —
+// tensor.ConvGEMMImplicit never changes the per-element accumulation order —
+// so results cache under the same content-addressed key regardless of
+// workers. workers <= 1 keeps the serial kernel; workers > 1 parallelises
+// column blocks; negative selects GOMAXPROCS. MAERI's native path is
+// unaffected by workers.
+func Conv2DNCHWWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping, workers int) (*tensor.Tensor, stats.Stats, error) {
 	if err := d.Resolve(); err != nil {
 		return nil, stats.Stats{}, err
 	}
@@ -50,7 +62,7 @@ func Conv2DNCHW(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m 
 		}
 		return tensor.NPQKToNKPQ(out), st, nil
 	}
-	return convViaGEMM(sim, in, kernel, d)
+	return convViaGEMM(sim, in, kernel, d, workers)
 }
 
 // convViaGEMM lowers a convolution to per-group GEMMs for the architectures
@@ -63,13 +75,15 @@ func Conv2DNCHW(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m 
 // identical to the materialised path (GEMM over Im2Col): both accumulate
 // each output element in ascending (C, R, S) order.
 //
-// The panel kernel runs with one worker here: a layer execution is one job,
-// and parallelism belongs to the layers above it (the simulation farm's
-// worker pool and the wavefront graph executor), so job-level serial
+// The panel kernel runs with one worker by default: a layer execution is
+// one job, and parallelism belongs to the layers above it (the simulation
+// farm's worker pool and the wavefront graph executor), so job-level serial
 // arithmetic keeps the serial paths genuinely serial and avoids
 // oversubscribing a farm that is already running one job per core. Callers
-// who want intra-conv parallelism use tensor.ConvGEMMImplicit directly.
-func convViaGEMM(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams) (*tensor.Tensor, stats.Stats, error) {
+// who do want intra-conv parallelism opt in per job (farm.Job.ExecWorkers,
+// bifrost-serve's exec_workers) or use tensor.ConvGEMMImplicit directly;
+// the result is bitwise identical either way.
+func convViaGEMM(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams, workers int) (*tensor.Tensor, stats.Stats, error) {
 	p, q := d.P(), d.Q()
 	cols := d.N * p * q
 	var total stats.Stats
@@ -81,7 +95,10 @@ func convViaGEMM(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams)
 		}
 		total.Add(st)
 	}
-	return tensor.ConvGEMMImplicit(in, kernel, d, 1), total, nil
+	if workers == 0 {
+		workers = 1
+	}
+	return tensor.ConvGEMMImplicit(in, kernel, d, workers), total, nil
 }
 
 // Conv2DNHWC executes a convolution with an NHWC input and RSCK kernel
@@ -90,6 +107,12 @@ func convViaGEMM(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams)
 // minimal change to the data provided by TVM"); GEMM architectures reuse
 // the NCHW lowering after a CPU-side transpose.
 func Conv2DNHWC(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping) (*tensor.Tensor, stats.Stats, error) {
+	return Conv2DNHWCWorkers(cfg, in, kernel, d, m, 1)
+}
+
+// Conv2DNHWCWorkers is Conv2DNHWC with an explicit worker count for the
+// GEMM-lowered arithmetic; see Conv2DNCHWWorkers.
+func Conv2DNHWCWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping, workers int) (*tensor.Tensor, stats.Stats, error) {
 	if err := d.Resolve(); err != nil {
 		return nil, stats.Stats{}, err
 	}
@@ -106,7 +129,7 @@ func Conv2DNHWC(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m 
 	}
 	nchw := tensor.NHWCToNCHW(in)
 	kcrs := tensor.RSCKToKCRS(kernel)
-	out, st, err := convViaGEMM(sim, nchw, kcrs, d)
+	out, st, err := convViaGEMM(sim, nchw, kcrs, d, workers)
 	if err != nil {
 		return nil, stats.Stats{}, err
 	}

@@ -89,6 +89,56 @@ func TestBatchedTunersMatchSerial(t *testing.T) {
 	}
 }
 
+// TestFarmMeasurerWarmDiskReplay tunes against a disk-backed farm, closes
+// it, and re-tunes through a cold farm on the same directory: the trial log
+// must be bit-identical and the second search must run zero simulations —
+// persistent caching makes repeated tuning sweeps (the common case across
+// tuner comparisons and re-runs) free.
+func TestFarmMeasurerWarmDiskReplay(t *testing.T) {
+	cfg := config.Default(config.MAERIDenseWorkload)
+	cfg.MSSize = 16
+	d := tensor.ConvDims{N: 1, C: 2, H: 8, W: 8, K: 4, R: 3, S: 3}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	space, err := ConvMappingSpace(d, cfg.MSSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	openFarm := func() *farm.Farm {
+		ds, err := farm.NewDiskStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return farm.New(4, farm.WithDiskStore(ds))
+	}
+
+	warm := openFarm()
+	opts := Options{Trials: 120, EarlyStopping: 40, Seed: 3, Measurer: FarmConvCycleMeasurer(warm, cfg, d)}
+	first, err := GridSearch{}.Tune(space, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+
+	cold := openFarm()
+	defer cold.Close()
+	opts.Measurer = FarmConvCycleMeasurer(cold, cfg, d)
+	second, err := GridSearch{}.Tune(space, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "grid/disk-replay", first, second)
+	st := cold.Stats()
+	if st.Completed != 0 || st.Misses != 0 {
+		t.Fatalf("cold tuning run re-simulated: %+v", st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("cold tuning run never hit the disk tier: %+v", st)
+	}
+}
+
 // TestFarmFCCycleMeasurerMatchesSerial checks the dense path against
 // FCCycleCost on the full FC space.
 func TestFarmFCCycleMeasurerMatchesSerial(t *testing.T) {

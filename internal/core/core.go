@@ -92,10 +92,13 @@ func (s *Session) Config() config.HWConfig { return s.cfg }
 // WithFarm routes every offloaded layer through the given simulation farm:
 // each layer is submitted as a job, so identical simulations — across runs,
 // sessions or concurrent requests sharing the farm — are deduplicated and
-// served from the content-addressed cache. Outputs, per-layer records and
-// their ordering are bit-identical to the farmless path; only wall-clock
-// time and cache statistics change. Passing nil restores direct execution.
-// It returns s for chaining.
+// served from the content-addressed cache. A farm with a persistent tier
+// (farm.WithDiskStore) extends that across processes: a cold session
+// replaying a model against a warm cache directory executes zero
+// simulations. Outputs, per-layer records and their ordering are
+// bit-identical to the farmless path; only wall-clock time and cache
+// statistics change. Passing nil restores direct execution. It returns s
+// for chaining.
 func (s *Session) WithFarm(f *farm.Farm) *Session {
 	s.farm = f
 	return s

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/farm"
+	"repro/internal/farm/farmtest"
 	"repro/internal/models"
 	"repro/internal/stonne/config"
 	"repro/internal/tensor"
@@ -90,5 +91,71 @@ func TestSessionRepeatRunsHitCache(t *testing.T) {
 	}
 	if st.Hits == 0 {
 		t.Fatalf("second identical run produced no cache hits: %+v", st)
+	}
+}
+
+// TestSessionDifferentialHarness runs the shared differential job table at
+// the core layer: the session-facing farm paths must agree byte-for-byte
+// with fresh, warm-memory and cold-disk execution.
+func TestSessionDifferentialHarness(t *testing.T) {
+	farmtest.AssertEquivalent(t, farmtest.Jobs())
+}
+
+// TestColdSessionReplaysWarmDiskCache is the end-to-end persistence check
+// at the session layer: a session in a "new process" (a fresh farm on a
+// warm cache directory) must replay a whole model with zero simulator
+// executions and bit-identical outputs and per-layer records.
+func TestColdSessionReplaysWarmDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	feeds := map[string]*tensor.Tensor{"data": tensor.RandomUniform(9, 1, 1, 2, 10, 10)}
+	openFarm := func() *farm.Farm {
+		ds, err := farm.NewDiskStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return farm.New(2, farm.WithDiskStore(ds))
+	}
+	run := func(f *farm.Farm) (*Session, []*tensor.Tensor) {
+		sess, err := NewSession(config.Default(config.MAERIDenseWorkload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.WithFarm(f)
+		outs, err := sess.Run(models.TinyCNN(42), feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess, outs
+	}
+
+	warmFarm := openFarm()
+	warmSess, warmOuts := run(warmFarm)
+	warmFarm.Close()
+
+	coldFarm := openFarm()
+	defer coldFarm.Close()
+	coldSess, coldOuts := run(coldFarm)
+
+	for i := range warmOuts {
+		if !tensor.AllClose(warmOuts[i], coldOuts[i], 0) {
+			t.Fatalf("output %d not bit-identical across the process boundary (max diff %v)",
+				i, tensor.MaxAbsDiff(warmOuts[i], coldOuts[i]))
+		}
+	}
+	wr, cr := warmSess.Records(), coldSess.Records()
+	if len(wr) != len(cr) {
+		t.Fatalf("record counts differ: %d vs %d", len(wr), len(cr))
+	}
+	for i := range wr {
+		if wr[i] != cr[i] {
+			t.Fatalf("layer record %d differs across the process boundary:\n  warm: %v\n  cold: %v", i, wr[i], cr[i])
+		}
+	}
+	st := coldFarm.Stats()
+	if st.Misses != 0 || st.Completed != 0 {
+		t.Fatalf("cold session re-simulated: %+v", st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("cold session did not hit the disk tier: %+v", st)
 	}
 }

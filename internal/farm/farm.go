@@ -8,16 +8,26 @@ import (
 )
 
 // Farm is the concurrent simulation farm: a fixed pool of workers draining
-// a FIFO job queue, fronted by a content-addressed result cache with
-// single-flight deduplication — concurrent submissions of the same job
+// a FIFO job queue, fronted by a content-addressed two-tier result cache
+// with single-flight deduplication — concurrent submissions of the same job
 // share one execution, and repeated submissions are served from the cache
 // without simulating at all.
+//
+// The memory tier (bounded with WithMaxEntries / WithMaxBytes) is consulted
+// synchronously on Submit; the optional persistent tier (WithDiskStore) is
+// probed by the worker that picks the job up, before it simulates, so a
+// warm disk directory lets a cold process answer every repeated job with
+// zero simulator executions. Disk hits are promoted back into the memory
+// tier. Single-flight semantics span both tiers: concurrent identical
+// submissions share one disk probe and at most one execution.
 //
 // A Farm is safe for concurrent use by any number of goroutines and is
 // typically shared: sessions, tuners and the bifrost-serve service can all
 // point at one farm so their identical simulations coalesce.
 type Farm struct {
-	workers int
+	workers    int
+	maxEntries int
+	maxBytes   int64
 
 	qmu    sync.Mutex
 	qcond  *sync.Cond
@@ -26,7 +36,8 @@ type Farm struct {
 	wg     sync.WaitGroup
 
 	cmu      sync.Mutex
-	cache    map[string]Result
+	mem      Store
+	disk     Store
 	inflight map[string]*call
 
 	submitted atomic.Int64
@@ -36,7 +47,29 @@ type Farm struct {
 	misses    atomic.Int64
 	deduped   atomic.Int64
 	pending   atomic.Int64
+	diskHits  atomic.Int64
 }
+
+// Option configures a Farm at construction time.
+type Option func(*Farm)
+
+// WithMaxEntries bounds the in-memory result tier to n entries, evicted in
+// LRU order; n <= 0 (the default) leaves it unbounded.
+func WithMaxEntries(n int) Option { return func(f *Farm) { f.maxEntries = n } }
+
+// WithMaxBytes bounds the in-memory result tier to roughly b resident
+// bytes of cached results, evicted in LRU order; b <= 0 (the default)
+// leaves it unbounded.
+func WithMaxBytes(b int64) Option { return func(f *Farm) { f.maxBytes = b } }
+
+// WithMemoryStore replaces the in-memory tier wholesale (overriding
+// WithMaxEntries / WithMaxBytes). The store is closed with the farm.
+func WithMemoryStore(s Store) Option { return func(f *Farm) { f.mem = s } }
+
+// WithDiskStore attaches a persistent tier — typically a *DiskStore —
+// probed on memory misses before a job is simulated and written through on
+// every fresh result. The store is closed with the farm.
+func WithDiskStore(s Store) Option { return func(f *Farm) { f.disk = s } }
 
 // call is one in-flight execution, shared by every waiter that submitted an
 // identical job while it was queued or running.
@@ -49,15 +82,21 @@ type call struct {
 }
 
 // New returns a running farm with the given number of workers; workers <= 0
-// selects GOMAXPROCS.
-func New(workers int) *Farm {
+// selects GOMAXPROCS. With no options the cache is a single unbounded
+// in-memory tier, matching the farm's original semantics.
+func New(workers int, opts ...Option) *Farm {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	f := &Farm{
 		workers:  workers,
-		cache:    make(map[string]Result),
 		inflight: make(map[string]*call),
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	if f.mem == nil {
+		f.mem = NewMemoryStore(f.maxEntries, f.maxBytes)
 	}
 	f.qcond = sync.NewCond(&f.qmu)
 	f.wg.Add(workers)
@@ -71,7 +110,9 @@ func New(workers int) *Farm {
 func (f *Farm) Workers() int { return f.workers }
 
 // Close stops accepting jobs, waits for queued and running jobs to finish,
-// and releases the workers. Submitting after Close returns an error.
+// releases the workers and closes the cache tiers. Results persisted to a
+// disk tier remain on disk: a new farm opened on the same directory serves
+// them without re-simulating. Submitting after Close returns an error.
 func (f *Farm) Close() {
 	f.qmu.Lock()
 	if f.closed {
@@ -82,6 +123,10 @@ func (f *Farm) Close() {
 	f.qcond.Broadcast()
 	f.qmu.Unlock()
 	f.wg.Wait()
+	f.mem.Close()
+	if f.disk != nil {
+		f.disk.Close()
+	}
 }
 
 func (f *Farm) worker() {
@@ -102,18 +147,41 @@ func (f *Farm) worker() {
 	}
 }
 
-// exec runs one call, publishes its result to the cache and wakes every
-// waiter.
+// exec runs one call, publishes its result to the cache tiers and wakes
+// every waiter. The persistent tier is probed first: a disk hit is promoted
+// into the memory tier and served without simulating (and without counting
+// a miss), which is what lets a cold process replay a warm cache with zero
+// executions. Because exec runs once per key (single flight), the disk
+// probe is deduplicated exactly like the execution it replaces.
 func (f *Farm) exec(c *call) {
+	if f.disk != nil {
+		if res, ok := f.disk.Get(c.key); ok {
+			f.cmu.Lock()
+			delete(f.inflight, c.key)
+			f.mem.Put(c.key, res)
+			f.cmu.Unlock()
+			res.Hit = true
+			c.res = res
+			f.hits.Add(1)
+			f.diskHits.Add(1)
+			f.pending.Add(-1)
+			close(c.done)
+			return
+		}
+	}
+	f.misses.Add(1)
 	c.res, c.err = Run(c.job)
 	f.cmu.Lock()
 	delete(f.inflight, c.key)
 	if c.err == nil {
-		f.cache[c.key] = c.res
+		f.mem.Put(c.key, c.res)
 	}
 	f.cmu.Unlock()
 	if c.err == nil {
 		f.completed.Add(1)
+		if f.disk != nil {
+			f.disk.Put(c.key, c.res)
+		}
 	} else {
 		f.failed.Add(1)
 	}
@@ -164,7 +232,7 @@ func (f *Farm) Submit(j Job) *Future {
 		return resolvedFuture("", Result{}, err)
 	}
 	f.cmu.Lock()
-	if res, ok := f.cache[key]; ok {
+	if res, ok := f.mem.Get(key); ok {
 		f.cmu.Unlock()
 		f.hits.Add(1)
 		res.Hit = true
@@ -178,7 +246,6 @@ func (f *Farm) Submit(j Job) *Future {
 	c := &call{job: j, key: key, done: make(chan struct{})}
 	f.inflight[key] = c
 	f.cmu.Unlock()
-	f.misses.Add(1)
 
 	f.qmu.Lock()
 	if f.closed {
@@ -232,16 +299,22 @@ type Stats struct {
 	// Completed and Failed count finished executions (not cache hits).
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
-	// Hits counts submissions served from the result cache; Misses counts
-	// submissions that scheduled a fresh simulation; Deduped counts
-	// submissions that attached to an identical in-flight execution.
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Deduped int64 `json:"deduped"`
+	// Hits counts submissions served from either cache tier without a
+	// simulator execution; DiskHits is the subset answered by the
+	// persistent tier. Misses counts jobs that had to be simulated; Deduped
+	// counts submissions that attached to an identical in-flight execution.
+	Hits     int64 `json:"hits"`
+	DiskHits int64 `json:"disk_hits"`
+	Misses   int64 `json:"misses"`
+	Deduped  int64 `json:"deduped"`
 	// Pending is the number of jobs currently queued or running.
 	Pending int64 `json:"pending"`
-	// CacheEntries is the number of distinct results held.
+	// CacheEntries is the number of distinct results held in memory.
 	CacheEntries int `json:"cache_entries"`
+	// Memory and Disk are the per-tier cache counters (hits, evictions,
+	// bytes, corrupt entries dropped); Disk is nil without a disk tier.
+	Memory StoreStats  `json:"memory"`
+	Disk   *StoreStats `json:"disk,omitempty"`
 }
 
 // HitRate returns the fraction of submissions that avoided a fresh
@@ -255,18 +328,23 @@ func (s Stats) HitRate() float64 {
 
 // Stats returns a consistent-enough snapshot of the counters.
 func (f *Farm) Stats() Stats {
-	f.cmu.Lock()
-	entries := len(f.cache)
-	f.cmu.Unlock()
-	return Stats{
+	mem := f.mem.Stats()
+	st := Stats{
 		Workers:      f.workers,
 		Submitted:    f.submitted.Load(),
 		Completed:    f.completed.Load(),
 		Failed:       f.failed.Load(),
 		Hits:         f.hits.Load(),
+		DiskHits:     f.diskHits.Load(),
 		Misses:       f.misses.Load(),
 		Deduped:      f.deduped.Load(),
 		Pending:      f.pending.Load(),
-		CacheEntries: entries,
+		CacheEntries: int(mem.Entries),
+		Memory:       mem,
 	}
+	if f.disk != nil {
+		disk := f.disk.Stats()
+		st.Disk = &disk
+	}
+	return st
 }

@@ -74,6 +74,16 @@ type Job struct {
 	// runs take the analytical fast path: closed-form per-tile-size-class
 	// cost, bit-identical to the step-loop reference.
 	DryRun bool
+
+	// ExecWorkers is the worker count for the exact arithmetic of
+	// GEMM-lowered convolutions (SIGMA / TPU): 0 or 1 keeps the job-level
+	// serial kernel, > 1 parallelises column blocks, < 0 selects
+	// GOMAXPROCS. Outputs and counters are bitwise identical for every
+	// value (tensor.ConvGEMMImplicit never reorders per-element
+	// accumulation), so ExecWorkers deliberately does NOT participate in
+	// Key(): serial and parallel submissions share one cache entry, on
+	// every tier.
+	ExecWorkers int
 }
 
 // Result is what one executed job reports.
@@ -121,9 +131,9 @@ func Run(j Job) (Result, error) {
 			err error
 		)
 		if j.Layout == tensor.NHWC {
-			out, st, err = api.Conv2DNHWC(cfg, j.Input, j.Weights, d, j.ConvMapping)
+			out, st, err = api.Conv2DNHWCWorkers(cfg, j.Input, j.Weights, d, j.ConvMapping, j.ExecWorkers)
 		} else {
-			out, st, err = api.Conv2DNCHW(cfg, j.Input, j.Weights, d, j.ConvMapping)
+			out, st, err = api.Conv2DNCHWWorkers(cfg, j.Input, j.Weights, d, j.ConvMapping, j.ExecWorkers)
 		}
 		if err != nil {
 			return Result{}, err

@@ -20,7 +20,13 @@ const keyVersion = "bifrost/farm/v1"
 // hardware configuration, operator kind, geometry, mapping, declared seed
 // and the full operand tensor contents. Two jobs share a key exactly when
 // they describe the same simulation, and keys are stable across processes
-// and platforms (golden values are pinned in key_test.go).
+// and platforms (golden values are pinned in key_test.go and
+// testdata/job_keys.golden; the fuzz target in key_fuzz_test.go checks the
+// equivalence both ways). ExecWorkers is deliberately excluded: it cannot
+// change the result, only the wall-clock time of computing it.
+//
+// Keys also name the disk-tier cache files, so any change to this encoding
+// must bump both keyVersion and DiskFormatVersion.
 func (j Job) Key() (string, error) {
 	cfg := j.HW.Normalize()
 	d := j.Dims

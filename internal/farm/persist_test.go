@@ -1,0 +1,206 @@
+package farm_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/farm"
+	"repro/internal/farm/farmtest"
+)
+
+// TestDifferentialCacheFreshDiskEquivalence is the harness run on its own
+// package: fresh inline runs, a warm in-memory farm and a cold farm
+// replaying a warm disk directory must all produce byte-identical results.
+func TestDifferentialCacheFreshDiskEquivalence(t *testing.T) {
+	farmtest.AssertEquivalent(t, farmtest.Jobs())
+}
+
+// TestDiskTierPromotesToMemory checks the two-level composition: after one
+// disk hit the entry must be served from the memory tier, not re-read from
+// disk.
+func TestDiskTierPromotesToMemory(t *testing.T) {
+	jobs := farmtest.Jobs()[:2]
+	dir := t.TempDir()
+
+	ds, err := farm.NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := farm.New(2, farm.WithDiskStore(ds))
+	if _, err := warm.DoBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+
+	ds2, err := farm.NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := farm.New(2, farm.WithDiskStore(ds2))
+	defer cold.Close()
+	if _, err := cold.DoBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.DoBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	st := cold.Stats()
+	if st.DiskHits != int64(len(jobs)) {
+		t.Fatalf("disk hits = %d, want %d (second pass must come from memory): %+v", st.DiskHits, len(jobs), st)
+	}
+	if st.Memory.Hits != int64(len(jobs)) {
+		t.Fatalf("memory hits = %d, want %d: %+v", st.Memory.Hits, len(jobs), st)
+	}
+	if st.Misses != 0 || st.Completed != 0 {
+		t.Fatalf("cold farm simulated: %+v", st)
+	}
+}
+
+// TestEvictedEntriesRecomputeCorrectly bounds the memory tier below the job
+// count with no disk tier: every entry is eventually evicted, recomputed on
+// resubmission, and must still match the fresh reference byte-for-byte.
+func TestEvictedEntriesRecomputeCorrectly(t *testing.T) {
+	jobs := farmtest.Jobs()
+	want := farmtest.RunFresh(t, jobs)
+
+	f := farm.New(2, farm.WithMaxEntries(2))
+	defer f.Close()
+	first, err := f.DoBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmtest.AssertSameResults(t, "bounded farm first pass", want, first)
+	second, err := f.DoBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmtest.AssertSameResults(t, "bounded farm recompute pass", want, second)
+
+	st := f.Stats()
+	if st.Memory.Evictions == 0 {
+		t.Fatalf("no evictions with max entries 2 and %d jobs: %+v", len(jobs), st)
+	}
+	if st.CacheEntries > 2 {
+		t.Fatalf("memory tier exceeded its bound: %d entries", st.CacheEntries)
+	}
+	// With the cache bounded to 2 of len(jobs) entries and two sequential
+	// full passes, most of the second pass must have been recomputed.
+	if st.Completed < int64(len(jobs))+1 {
+		t.Fatalf("expected recomputation after eviction, completed = %d: %+v", st.Completed, st)
+	}
+}
+
+// TestConcurrentSubmitEvictPersist hammers a farm whose memory tier is
+// small and whose disk tier is byte-bounded, from many goroutines, under
+// -race in CI: submissions, evictions on both tiers and persistence must
+// not race, and every result must stay byte-identical to the reference.
+func TestConcurrentSubmitEvictPersist(t *testing.T) {
+	jobs := farmtest.Jobs()
+	want := farmtest.RunFresh(t, jobs)
+
+	ds, err := farm.NewDiskStore(t.TempDir(), 8<<10) // small: forces disk evictions
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := farm.New(4, farm.WithMaxEntries(3), farm.WithDiskStore(ds))
+	defer f.Close()
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(jobs)
+				res, err := f.Do(jobs[i])
+				if err != nil {
+					t.Errorf("goroutine %d round %d: %v", g, r, err)
+					return
+				}
+				if err := farmtest.DiffResults(want[i], res); err != nil {
+					t.Errorf("goroutine %d round %d: %v", g, r, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := f.Stats()
+	if st.Memory.Entries > 3 {
+		t.Fatalf("memory tier exceeded its bound under concurrency: %+v", st.Memory)
+	}
+	if st.Disk == nil {
+		t.Fatal("no disk tier stats")
+	}
+	if st.Disk.Bytes > 8<<10 {
+		t.Fatalf("disk tier exceeded its byte bound: %+v", *st.Disk)
+	}
+}
+
+// TestDiskStoreSurvivesProcessBoundary simulates the process boundary at
+// the store level: write results through one store, open a second store on
+// the same directory (as a new process would) and require byte-identical
+// round trips plus correct size accounting from the directory rescan.
+func TestDiskStoreSurvivesProcessBoundary(t *testing.T) {
+	jobs := farmtest.Jobs()[:3]
+	want := farmtest.RunFresh(t, jobs)
+	dir := t.TempDir()
+
+	a, err := farm.NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i], err = j.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Put(keys[i], want[i])
+	}
+	if st := a.Stats(); st.Entries != int64(len(jobs)) || st.Bytes == 0 {
+		t.Fatalf("unexpected store stats after writes: %+v", st)
+	}
+
+	b, err := farm.NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast, bst := a.Stats(), b.Stats(); ast.Entries != bst.Entries || ast.Bytes != bst.Bytes {
+		t.Fatalf("rescan accounting drifted: %+v vs %+v", ast, bst)
+	}
+	for i, key := range keys {
+		res, ok := b.Get(key)
+		if !ok {
+			t.Fatalf("entry %d missing after reopen", i)
+		}
+		if err := farmtest.DiffResults(want[i], res); err != nil {
+			t.Fatalf("entry %d not byte-identical after reopen: %v", i, err)
+		}
+	}
+
+	// The versioned directory isolates formats: a store rooted elsewhere
+	// sees nothing.
+	other, err := farm.NewDiskStore(filepath.Join(dir, "elsewhere"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := other.Get(keys[0]); ok {
+		t.Fatal("unrelated store served another directory's entry")
+	}
+
+	// Leftover temp files from a crashed writer are cleaned up on open.
+	tmp := filepath.Join(b.Dir(), ".tmp-crashed")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := farm.NewDiskStore(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("crashed temp file survived reopen")
+	}
+}

@@ -12,7 +12,10 @@
 //
 // Operand tensors are generated server-side from the request seed, so a job
 // is a small, reproducible description — the same request always hits the
-// same content-addressed cache entry.
+// same content-addressed cache entry, including entries persisted to disk
+// by a previous process (bifrost-serve -cache-dir): a restarted server
+// answers previously computed requests byte-identically with zero
+// simulator executions.
 package serve
 
 import (
@@ -119,6 +122,13 @@ type JobRequest struct {
 	Seed      int64 `json:"seed,omitempty"`
 	// DryRun runs the counters-only MAERI measurement (no operands).
 	DryRun bool `json:"dry_run,omitempty"`
+	// ExecWorkers is the intra-job worker count for the exact arithmetic of
+	// GEMM-lowered convolutions (SIGMA / TPU): 0 inherits the server
+	// default, 1 forces the serial kernel, > 1 parallelises column blocks,
+	// < 0 selects GOMAXPROCS. Responses are byte-identical for every value
+	// (the accumulation order never changes), so it does not participate in
+	// the cache key: serial and parallel requests share entries.
+	ExecWorkers int `json:"exec_workers,omitempty"`
 }
 
 // Job compiles the request into a farm job.
@@ -127,7 +137,7 @@ func (r JobRequest) Job() (farm.Job, error) {
 	if err != nil {
 		return farm.Job{}, err
 	}
-	j := farm.Job{HW: cfg, Seed: r.Seed, DryRun: r.DryRun}
+	j := farm.Job{HW: cfg, Seed: r.Seed, DryRun: r.DryRun, ExecWorkers: r.ExecWorkers}
 	switch r.Op {
 	case "conv2d":
 		if r.Conv == nil {
@@ -222,14 +232,26 @@ type JobResponse struct {
 
 // Server routes simulation requests into a farm.
 type Server struct {
-	farm *farm.Farm
-	mux  *http.ServeMux
+	farm        *farm.Farm
+	mux         *http.ServeMux
+	execWorkers int
 }
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithExecWorkers sets the default JobRequest.ExecWorkers applied to
+// requests that leave the field unset (0). The server default keeps 0
+// meaning the serial kernel, matching the farm's own default.
+func WithExecWorkers(n int) ServerOption { return func(s *Server) { s.execWorkers = n } }
 
 // NewServer returns an http.Handler serving the bifrost-serve API on the
 // given farm.
-func NewServer(f *farm.Farm) *Server {
+func NewServer(f *farm.Farm, opts ...ServerOption) *Server {
 	s := &Server{farm: f, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -246,6 +268,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // run executes one request through the farm and shapes the response.
 func (s *Server) run(req JobRequest) JobResponse {
 	start := time.Now()
+	if req.ExecWorkers == 0 {
+		req.ExecWorkers = s.execWorkers
+	}
 	job, err := req.Job()
 	if err != nil {
 		return JobResponse{Error: err.Error(), ElapsedMS: msSince(start)}
