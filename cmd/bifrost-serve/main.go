@@ -15,6 +15,11 @@
 //	  -cache-max-entries 10000 -cache-max-bytes 256000000 \
 //	  -cache-disk-max-bytes 10000000000
 //
+//	# warm start for known sweeps: preload the disk store's entries into
+//	# the in-memory LRU, so the first pass of a repeated sweep is served
+//	# from memory without even a disk probe
+//	bifrost-serve -cache-dir /var/cache/bifrost -cache-warm
+//
 //	# one simulation
 //	curl -s localhost:8087/simulate -d '{
 //	  "arch": {"controller": "maeri", "ms_size": 128},
@@ -53,6 +58,7 @@ func main() {
 		maxEntries = flag.Int("cache-max-entries", 0, "in-memory cache entry bound, LRU-evicted (0 = unbounded)")
 		maxBytes   = flag.Int64("cache-max-bytes", 0, "in-memory cache byte bound, LRU-evicted (0 = unbounded)")
 		diskMax    = flag.Int64("cache-disk-max-bytes", 0, "disk cache byte bound, LRU-evicted (0 = unbounded)")
+		warm       = flag.Bool("cache-warm", false, "preload the disk cache's entries into the in-memory LRU at startup (requires -cache-dir)")
 		execW      = flag.Int("exec-workers", 0, "default per-job arithmetic workers for GEMM-lowered convs (0/1 = serial, <0 = GOMAXPROCS); responses are byte-identical either way")
 	)
 	flag.Parse()
@@ -67,8 +73,15 @@ func main() {
 		log.Printf("persistent cache at %s (%d entries, %d bytes warm)",
 			ds.Dir(), ds.Stats().Entries, ds.Stats().Bytes)
 	}
+	if *warm && *cacheDir == "" {
+		log.Fatal("-cache-warm requires -cache-dir")
+	}
 	fm := farm.New(*workers, opts...)
 	defer fm.Close()
+	if *warm {
+		n := fm.Warm()
+		log.Printf("warmed %d cached results into memory", n)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           serve.NewServer(fm, serve.WithExecWorkers(*execW)),

@@ -1,23 +1,35 @@
 package bifrost
 
-// Microbenchmarks of the PR 2 fast paths, each paired with the reference
+// Microbenchmarks of the fast paths, each paired with the reference
 // implementation it replaced so the speedup stays measurable:
 //
-//	BenchmarkMAERIDryRunConv  — analytical dry-run vs the step-loop
-//	                            reference on a ResNet-scale 3×3/256-channel
-//	                            layer (the §VII-B "cheap cost signal" path)
-//	BenchmarkConvLowering     — fused im2col-free implicit GEMM vs the
-//	                            materialised Im2Col + GEMM composition
-//	BenchmarkGraphExec        — wavefront graph executor vs serial execution
-//	                            on a four-branch CNN
+//	BenchmarkMAERIDryRunConv     — analytical dry-run vs the step-loop
+//	                               reference on a ResNet-scale layer (PR 2,
+//	                               the §VII-B "cheap cost signal" path)
+//	BenchmarkFullAccuracyConv    — full-accuracy fused fast path (analytic
+//	                               counters + fused arithmetic) vs the
+//	                               step-loop reference on the same
+//	                               ResNet-scale layer (PR 4); real output
+//	                               tensor both ways, bit-identical
+//	BenchmarkFullAccuracyLowered — full-accuracy GEMM-lowered convolution
+//	                               (SIGMA / TPU path) fused vs reference
+//	                               (materialised im2col + simulated GEMM)
+//	BenchmarkFullAccuracyDense   — full-accuracy MAERI dense layer, fused
+//	                               vs step loop
+//	BenchmarkConvLowering        — fused im2col-free implicit GEMM vs the
+//	                               materialised Im2Col + GEMM composition
+//	BenchmarkGraphExec           — wavefront graph executor vs serial
+//	                               execution on a four-branch CNN
 //
-// GEMM kernel variants (GEMM / GEMMBlocked / GEMMParallel) are benchmarked
-// in internal/tensor. BENCH_pr2.json snapshots the measured numbers.
+// GEMM kernel variants (packed micro-kernel vs reference ikj loop) are
+// benchmarked in internal/tensor. BENCH_pr2.json and BENCH_pr4.json
+// snapshot the measured numbers.
 
 import (
 	"fmt"
 	"testing"
 
+	"repro/internal/farm"
 	"repro/internal/graph"
 	"repro/internal/stonne/config"
 	"repro/internal/stonne/maeri"
@@ -54,6 +66,112 @@ func BenchmarkMAERIDryRunConv(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := eng.Conv2D(nil, nil, d, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullAccuracyConv measures the PR 4 tentpole on MAERI:
+// full-accuracy ResNet-scale convolutions producing their real output
+// tensors, fused (analytic Stats + fused arithmetic, the default) against
+// the step-loop reference. The equivalence suite proves the two
+// bit-identical; this benchmark records what decoupling counters from
+// arithmetic buys. Both layers perform the same 115.6M MACs (ResNet stages
+// are MAC-balanced); conv5 stresses the kernel-locality gap harder.
+func BenchmarkFullAccuracyConv(b *testing.B) {
+	layers := []struct {
+		name string
+		d    tensor.ConvDims
+	}{
+		{"conv4_14x14x256", tensor.ConvDims{N: 1, C: 256, H: 14, W: 14, K: 256, R: 3, S: 3, PadH: 1, PadW: 1}},
+		{"conv5_7x7x512", tensor.ConvDims{N: 1, C: 512, H: 7, W: 7, K: 512, R: 3, S: 3, PadH: 1, PadW: 1}},
+	}
+	m := mapping.ConvMapping{TR: 3, TS: 3, TC: 1, TK: 8, TG: 1, TN: 1, TX: 1, TY: 1}
+	cfg := config.Default(config.MAERIDenseWorkload)
+	for _, layer := range layers {
+		d := layer.d
+		if err := d.Resolve(); err != nil {
+			b.Fatal(err)
+		}
+		in := tensor.RandomUniform(1, 1, d.N, d.H, d.W, d.C)      // NHWC
+		ker := tensor.RandomUniform(2, 1, d.R, d.S, d.C/d.G, d.K) // RSCK
+		for _, ref := range []bool{false, true} {
+			name := layer.name + "/fused"
+			if ref {
+				name = layer.name + "/reference"
+			}
+			b.Run(name, func(b *testing.B) {
+				eng, err := maeri.NewEngine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Reference = ref
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := eng.Conv2D(in, ker, d, m); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFullAccuracyLowered measures the GEMM-lowered full-accuracy path
+// (here the TPU; SIGMA shapes behave the same) through the farm's job
+// runner: fused (GEMMStats counters + implicit-GEMM arithmetic through the
+// packed micro-kernel) against the reference (materialised im2col multiplied
+// by the cycle-ticked mesh).
+func BenchmarkFullAccuracyLowered(b *testing.B) {
+	d := tensor.ConvDims{N: 1, C: 64, H: 28, W: 28, K: 64, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.RandomUniform(1, 1, d.N, d.C, d.H, d.W)
+	ker := tensor.RandomUniform(2, 1, d.K, d.C, d.R, d.S)
+	for _, ref := range []bool{false, true} {
+		name := "fused"
+		if ref {
+			name = "reference"
+		}
+		b.Run(name, func(b *testing.B) {
+			job := farm.Job{
+				HW: config.Default(config.TPUOSDense), Kind: farm.Conv2D,
+				Dims: d, Input: in, Weights: ker, Reference: ref,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := farm.Run(job); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullAccuracyDense measures the fused full-accuracy dense layer
+// against the step loop on a classifier-scale FC (1024 → 1000).
+func BenchmarkFullAccuracyDense(b *testing.B) {
+	cfg := config.Default(config.MAERIDenseWorkload)
+	in := tensor.RandomUniform(1, 1, 4, 1024)
+	w := tensor.RandomUniform(2, 1, 1000, 1024)
+	m := mapping.FCMapping{TS: 16, TK: 8, TN: 1}
+	for _, ref := range []bool{false, true} {
+		name := "fused"
+		if ref {
+			name = "reference"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := maeri.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Reference = ref
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Dense(in, w, m); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -37,6 +37,25 @@ func Conv2DNCHW(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m 
 	return Conv2DNCHWWorkers(cfg, in, kernel, d, m, 1)
 }
 
+// Options tune how a layer executes without changing what it computes: the
+// counters and output bytes are bitwise identical for every combination
+// (enforced by the engine equivalence suites and the farmtest differential
+// harness), so none of these fields participates in result cache keys.
+type Options struct {
+	// Workers is the worker count for the exact arithmetic of the
+	// GEMM-lowered path (SIGMA / TPU): 0 or 1 keeps the serial kernel,
+	// > 1 parallelises column blocks, < 0 selects GOMAXPROCS. MAERI's
+	// native path is unaffected.
+	Workers int
+
+	// Reference forces the step-loop / cycle-ticked reference engines and,
+	// for the GEMM-lowered architectures, the materialised im2col lowering —
+	// the full pre-fast-path execution. It exists to validate the fused
+	// default and is how the differential harness produces its step-loop
+	// baseline.
+	Reference bool
+}
+
 // Conv2DNCHWWorkers is Conv2DNCHW with an explicit worker count for the
 // exact arithmetic of the GEMM-lowered path (SIGMA / TPU). The simulated
 // counters and the output are bitwise identical for every worker count —
@@ -46,6 +65,11 @@ func Conv2DNCHW(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m 
 // column blocks; negative selects GOMAXPROCS. MAERI's native path is
 // unaffected by workers.
 func Conv2DNCHWWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping, workers int) (*tensor.Tensor, stats.Stats, error) {
+	return Conv2DNCHWOpts(cfg, in, kernel, d, m, Options{Workers: workers})
+}
+
+// Conv2DNCHWOpts is Conv2DNCHW with full execution options.
+func Conv2DNCHWOpts(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping, opt Options) (*tensor.Tensor, stats.Stats, error) {
 	if err := d.Resolve(); err != nil {
 		return nil, stats.Stats{}, err
 	}
@@ -53,6 +77,7 @@ func Conv2DNCHWWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvPar
 	if err != nil {
 		return nil, stats.Stats{}, err
 	}
+	sim.SetReference(opt.Reference)
 	if sim.SupportsDirectConv() {
 		nhwc := tensor.NCHWToNHWC(in)
 		rsck := tensor.KCRSToRSCK(kernel)
@@ -62,7 +87,7 @@ func Conv2DNCHWWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvPar
 		}
 		return tensor.NPQKToNKPQ(out), st, nil
 	}
-	return convViaGEMM(sim, in, kernel, d, workers)
+	return convViaGEMM(sim, in, kernel, d, opt)
 }
 
 // convViaGEMM lowers a convolution to per-group GEMMs for the architectures
@@ -83,7 +108,10 @@ func Conv2DNCHWWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvPar
 // who do want intra-conv parallelism opt in per job (farm.Job.ExecWorkers,
 // bifrost-serve's exec_workers) or use tensor.ConvGEMMImplicit directly;
 // the result is bitwise identical either way.
-func convViaGEMM(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams, workers int) (*tensor.Tensor, stats.Stats, error) {
+func convViaGEMM(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams, opt Options) (*tensor.Tensor, stats.Stats, error) {
+	if opt.Reference {
+		return convViaGEMMReference(sim, in, kernel, d)
+	}
 	p, q := d.P(), d.Q()
 	cols := d.N * p * q
 	var total stats.Stats
@@ -95,10 +123,44 @@ func convViaGEMM(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams,
 		}
 		total.Add(st)
 	}
+	workers := opt.Workers
 	if workers == 0 {
 		workers = 1
 	}
 	return tensor.ConvGEMMImplicit(in, kernel, d, workers), total, nil
+}
+
+// convViaGEMMReference is the materialised reference lowering: per group the
+// full (C/G·R·S) × (N·P·Q) im2col matrix is built and the simulator's own
+// GEMM — running its step-loop / cycle-ticked reference engine — computes
+// both counters and product, which is then scattered into the NCHW output.
+// The fused path above is proven bitwise identical to this by the farmtest
+// differential harness.
+func convViaGEMMReference(sim *stonne.Simulator, in, kernel *tensor.Tensor, d ConvParams) (*tensor.Tensor, stats.Stats, error) {
+	p, q := d.P(), d.Q()
+	pq := p * q
+	cols := d.N * pq
+	kg := d.K / d.G
+	out := tensor.New(d.N, d.K, p, q)
+	outD := out.Data()
+	var total stats.Stats
+	for g := 0; g < d.G; g++ {
+		km := tensor.KernelMatrix(kernel, d, g)
+		im := tensor.Im2Col(in, d, g)
+		prod, st, err := sim.GEMM(km, im) // kg × cols
+		if err != nil {
+			return nil, stats.Stats{}, err
+		}
+		total.Add(st)
+		prodD := prod.Data()
+		for kk := 0; kk < kg; kk++ {
+			ch := g*kg + kk
+			for n := 0; n < d.N; n++ {
+				copy(outD[(n*d.K+ch)*pq:(n*d.K+ch)*pq+pq], prodD[kk*cols+n*pq:kk*cols+(n+1)*pq])
+			}
+		}
+	}
+	return out, total, nil
 }
 
 // Conv2DNHWC executes a convolution with an NHWC input and RSCK kernel
@@ -113,6 +175,11 @@ func Conv2DNHWC(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m 
 // Conv2DNHWCWorkers is Conv2DNHWC with an explicit worker count for the
 // GEMM-lowered arithmetic; see Conv2DNCHWWorkers.
 func Conv2DNHWCWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping, workers int) (*tensor.Tensor, stats.Stats, error) {
+	return Conv2DNHWCOpts(cfg, in, kernel, d, m, Options{Workers: workers})
+}
+
+// Conv2DNHWCOpts is Conv2DNHWC with full execution options.
+func Conv2DNHWCOpts(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams, m mapping.ConvMapping, opt Options) (*tensor.Tensor, stats.Stats, error) {
 	if err := d.Resolve(); err != nil {
 		return nil, stats.Stats{}, err
 	}
@@ -120,6 +187,7 @@ func Conv2DNHWCWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvPar
 	if err != nil {
 		return nil, stats.Stats{}, err
 	}
+	sim.SetReference(opt.Reference)
 	if sim.SupportsDirectConv() {
 		out, st, err := sim.Conv2D(in, kernel, d, m)
 		if err != nil {
@@ -129,7 +197,7 @@ func Conv2DNHWCWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvPar
 	}
 	nchw := tensor.NHWCToNCHW(in)
 	kcrs := tensor.RSCKToKCRS(kernel)
-	out, st, err := convViaGEMM(sim, nchw, kcrs, d, workers)
+	out, st, err := convViaGEMM(sim, nchw, kcrs, d, opt)
 	if err != nil {
 		return nil, stats.Stats{}, err
 	}
@@ -140,10 +208,16 @@ func Conv2DNHWCWorkers(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvPar
 // [M, S]). Only the linear transformation runs on the accelerator; any
 // activation stays on the CPU target (§V-A).
 func Dense(cfg config.HWConfig, in, weights *tensor.Tensor, m mapping.FCMapping) (*tensor.Tensor, stats.Stats, error) {
+	return DenseOpts(cfg, in, weights, m, Options{})
+}
+
+// DenseOpts is Dense with full execution options.
+func DenseOpts(cfg config.HWConfig, in, weights *tensor.Tensor, m mapping.FCMapping, opt Options) (*tensor.Tensor, stats.Stats, error) {
 	sim, err := stonne.New(cfg)
 	if err != nil {
 		return nil, stats.Stats{}, err
 	}
+	sim.SetReference(opt.Reference)
 	return sim.Dense(in, weights, m)
 }
 

@@ -62,6 +62,13 @@ type Session struct {
 	// either way.
 	ExecWorkers int
 
+	// Reference forces every offloaded layer through the step-loop /
+	// cycle-ticked reference engines instead of the default fused fast path
+	// (analytic counters + fast arithmetic). Outputs, records and cache
+	// keys are identical either way — the flag exists to validate the fast
+	// path end to end and to measure its speedup.
+	Reference bool
+
 	farm *farm.Farm
 
 	recmu   sync.Mutex
@@ -217,6 +224,7 @@ func (s *Session) offloadConv(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tens
 	job := farm.Job{
 		HW: s.cfg, Kind: farm.Conv2D, Layout: n.Attrs.DataLayout,
 		Dims: d, ConvMapping: m, Input: ins[0], Weights: kernel,
+		Reference: s.Reference,
 	}
 	var res farm.Result
 	if s.farm != nil {
@@ -253,7 +261,7 @@ func (s *Session) offloadConv(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tens
 func (s *Session) offloadDense(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tensor, bool, error) {
 	weights := s.maybePrune(ins[1])
 	m := s.fcMappingFor(n.Name)
-	job := farm.Job{HW: s.cfg, Kind: farm.Dense, FCMapping: m, Input: ins[0], Weights: weights}
+	job := farm.Job{HW: s.cfg, Kind: farm.Dense, FCMapping: m, Input: ins[0], Weights: weights, Reference: s.Reference}
 	var res farm.Result
 	var err error
 	if s.farm != nil {

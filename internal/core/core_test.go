@@ -50,6 +50,46 @@ func TestSessionRunsTinyCNNOnAllArchitectures(t *testing.T) {
 	}
 }
 
+// TestSessionReferenceBitIdentical proves the end-to-end fused fast path
+// against the step-loop reference at the session level: same model, same
+// feeds, Reference toggled — outputs and every per-layer record must be
+// bit-identical on all three architectures.
+func TestSessionReferenceBitIdentical(t *testing.T) {
+	in := tensor.RandomUniform(9, 1, 1, 2, 10, 10)
+	feeds := map[string]*tensor.Tensor{"data": in}
+	for _, ct := range []config.ControllerType{config.MAERIDenseWorkload, config.SIGMASparseGEMM, config.TPUOSDense} {
+		fused, err := NewSession(config.Default(ct))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fusedOuts, err := fused.Run(models.TinyCNN(42), feeds)
+		if err != nil {
+			t.Fatalf("%s fused: %v", ct, err)
+		}
+		ref, err := NewSession(config.Default(ct))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Reference = true
+		refOuts, err := ref.Run(models.TinyCNN(42), feeds)
+		if err != nil {
+			t.Fatalf("%s reference: %v", ct, err)
+		}
+		if i := tensor.FirstBitDiff(refOuts[0], fusedOuts[0]); i >= 0 {
+			t.Errorf("%s: fused output diverges from step loop at element %d", ct, i)
+		}
+		fr, rr := fused.Records(), ref.Records()
+		if len(fr) != len(rr) {
+			t.Fatalf("%s: %d fused records vs %d reference records", ct, len(fr), len(rr))
+		}
+		for i := range fr {
+			if fr[i].Stats != rr[i].Stats {
+				t.Errorf("%s: layer %q stats diverge:\n fused %+v\n ref   %+v", ct, fr[i].Name, fr[i].Stats, rr[i].Stats)
+			}
+		}
+	}
+}
+
 func TestSessionRunsLeNetOnMAERI(t *testing.T) {
 	s, err := NewSession(config.Default(config.MAERIDenseWorkload))
 	if err != nil {

@@ -256,6 +256,70 @@ func (ds *DiskStore) remove(key string) {
 	}
 }
 
+// Entries streams decodable entries of the store to fn, least recently
+// used first (by file mtime, the cross-process LRU clock), stopping early
+// if fn returns false. newest > 0 restricts the stream to the newest that
+// many entries, and newestBytes > 0 to the newest entries whose encoded
+// files fit the byte budget (at least one) — both still delivered
+// oldest-first among themselves — so a bounded consumer never pays reads it
+// would immediately evict; non-positive limits stream everything. It reads
+// the files directly — no recency refresh, no hit/miss accounting — so it
+// is the right primitive for cache warming: a memory tier populated in
+// this order ends with the most recently used entries at its hot end, and
+// the store's statistics still describe only real lookup traffic. Corrupt
+// files are skipped (and left for Get's delete-and-recompute path to
+// reap). Safe to run concurrently with farm traffic.
+func (ds *DiskStore) Entries(newest int, newestBytes int64, fn func(key string, res Result) bool) {
+	ents, err := os.ReadDir(ds.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	files := make([]entry, 0, len(ents))
+	for _, ent := range ents {
+		if ent.IsDir() || !validKey(ent.Name()) {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{ent.Name(), info.Size(), info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	if newest > 0 && len(files) > newest {
+		files = files[len(files)-newest:]
+	}
+	if newestBytes > 0 {
+		cut, budget := len(files), newestBytes
+		for cut > 0 && budget >= files[cut-1].size {
+			budget -= files[cut-1].size
+			cut--
+		}
+		if cut == len(files) && cut > 0 {
+			cut-- // always offer at least the newest entry
+		}
+		files = files[cut:]
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(filepath.Join(ds.dir, f.name))
+		if err != nil {
+			continue
+		}
+		res, err := decodeResult(b)
+		if err != nil {
+			continue
+		}
+		if !fn(f.name, res) {
+			return
+		}
+	}
+}
+
 func (ds *DiskStore) count(f func(*StoreStats)) {
 	ds.mu.Lock()
 	f(&ds.stats)

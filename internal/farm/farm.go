@@ -109,6 +109,42 @@ func New(workers int, opts ...Option) *Farm {
 // Workers returns the worker-pool size.
 func (f *Farm) Workers() int { return f.workers }
 
+// entryLister is the optional Store capability Warm needs: streaming the
+// tier's entries in least-recently-used-first order, bounded to the newest
+// N entries and/or the newest entries fitting a byte budget. *DiskStore
+// implements it.
+type entryLister interface {
+	Entries(newest int, newestBytes int64, fn func(key string, res Result) bool)
+}
+
+// Warm preloads the persistent tier's entries into the memory tier, so a
+// freshly started farm answers known sweeps from memory instead of paying a
+// disk probe per first hit. Entries load least recently used first, leaving
+// the most recently used ones at the memory LRU's hot end. A bounded memory
+// tier (WithMaxEntries / WithMaxBytes) only reads roughly the newest
+// entries it can actually hold (the byte bound compares encoded file sizes
+// against the tier's resident-byte budget — close cousins, not equal — so
+// the tier's own eviction still enforces the exact bound); a custom
+// WithMemoryStore evicts the coldest as warming fills it. Returns the
+// number of entries offered to the memory tier (0 when there is no
+// persistent tier or it cannot enumerate). Warming is read-only with
+// respect to the disk tier and safe to run concurrently with submissions.
+func (f *Farm) Warm() int {
+	lister, ok := f.disk.(entryLister)
+	if !ok {
+		return 0
+	}
+	n := 0
+	lister.Entries(f.maxEntries, f.maxBytes, func(key string, res Result) bool {
+		f.cmu.Lock()
+		f.mem.Put(key, res)
+		f.cmu.Unlock()
+		n++
+		return true
+	})
+	return n
+}
+
 // Close stops accepting jobs, waits for queued and running jobs to finish,
 // releases the workers and closes the cache tiers. Results persisted to a
 // disk tier remain on disk: a new farm opened on the same directory serves

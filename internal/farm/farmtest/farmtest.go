@@ -76,7 +76,8 @@ func Jobs() []farm.Job {
 
 // RunFresh executes every job inline on the calling goroutine (farm.Run) —
 // no farm, no cache — producing the reference results the cached paths are
-// compared against.
+// compared against. Jobs run the default fused fast path: analytic counters
+// plus fast arithmetic, never a step loop.
 func RunFresh(tb testing.TB, jobs []farm.Job) []farm.Result {
 	tb.Helper()
 	results := make([]farm.Result, len(jobs))
@@ -84,6 +85,25 @@ func RunFresh(tb testing.TB, jobs []farm.Job) []farm.Result {
 		res, err := farm.Run(j)
 		if err != nil {
 			tb.Fatalf("fresh run of job %d: %v", i, err)
+		}
+		results[i] = res
+	}
+	return results
+}
+
+// RunReference executes every job inline with Job.Reference set: the
+// step-loop / cycle-ticked engines and, for GEMM-lowered convolutions, the
+// materialised im2col lowering. This is the ground truth the fused fast
+// path — and every cache tier replaying fused results — must match byte for
+// byte.
+func RunReference(tb testing.TB, jobs []farm.Job) []farm.Result {
+	tb.Helper()
+	results := make([]farm.Result, len(jobs))
+	for i, j := range jobs {
+		j.Reference = true
+		res, err := farm.Run(j)
+		if err != nil {
+			tb.Fatalf("reference run of job %d: %v", i, err)
 		}
 		results[i] = res
 	}
@@ -131,18 +151,25 @@ func AssertSameResults(tb testing.TB, context string, want, got []farm.Result) {
 	}
 }
 
-// AssertEquivalent is the harness entry point: it proves the three result
+// AssertEquivalent is the harness entry point: it proves the four result
 // paths agree byte-for-byte on the given jobs.
 //
-//  1. fresh — every job inline through farm.Run;
-//  2. warm memory — the same jobs twice through one farm, the second pass
+//  1. reference — every job inline through the step-loop / cycle-ticked
+//     engines (Job.Reference), the ground truth;
+//  2. fresh — every job inline through farm.Run's default fused fast path;
+//  3. warm memory — the same jobs twice through one farm, the second pass
 //     required to be served entirely from the in-memory tier;
-//  3. warm disk — a farm with a disk tier populates a directory and is
+//  4. warm disk — a farm with a disk tier populates a directory and is
 //     Closed; a second, cold farm on the same directory must replay every
 //     job with zero simulator executions (disk hits only, no misses).
+//
+// Because paths 3 and 4 replay results computed by the fused path and are
+// compared against path 1, the harness proves warm-cache replays of
+// fused-path results byte-identical to step-loop results.
 func AssertEquivalent(tb testing.TB, jobs []farm.Job) {
 	tb.Helper()
 	want := RunFresh(tb, jobs)
+	AssertSameResults(tb, "fused fresh run vs step-loop reference", RunReference(tb, jobs), want)
 
 	// Path 2: warm in-memory cache.
 	fm := farm.New(4)

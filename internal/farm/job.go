@@ -84,6 +84,21 @@ type Job struct {
 	// Key(): serial and parallel submissions share one cache entry, on
 	// every tier.
 	ExecWorkers int
+
+	// Reference forces the step-loop / cycle-ticked reference engines (and,
+	// for GEMM-lowered convolutions, the materialised im2col lowering)
+	// instead of the default fused fast path. Results are bitwise identical
+	// either way — the engine equivalence suites and the farmtest
+	// differential harness enforce it — so Reference, like ExecWorkers,
+	// deliberately does NOT participate in Key(): a warm cache populated by
+	// fused runs serves reference submissions and vice versa.
+	//
+	// The bitwise guarantee assumes finite operand values. The fused
+	// kernels compute products the reference's skip-zero loops never
+	// materialise; for finite data those are ±0 no-ops, but a 0 paired
+	// with an Inf/NaN operand would make them NaN. Operands containing
+	// non-finite values are outside the farm's contract.
+	Reference bool
 }
 
 // Result is what one executed job reports.
@@ -130,10 +145,11 @@ func Run(j Job) (Result, error) {
 			st  stats.Stats
 			err error
 		)
+		opt := api.Options{Workers: j.ExecWorkers, Reference: j.Reference}
 		if j.Layout == tensor.NHWC {
-			out, st, err = api.Conv2DNHWCWorkers(cfg, j.Input, j.Weights, d, j.ConvMapping, j.ExecWorkers)
+			out, st, err = api.Conv2DNHWCOpts(cfg, j.Input, j.Weights, d, j.ConvMapping, opt)
 		} else {
-			out, st, err = api.Conv2DNCHWWorkers(cfg, j.Input, j.Weights, d, j.ConvMapping, j.ExecWorkers)
+			out, st, err = api.Conv2DNCHWOpts(cfg, j.Input, j.Weights, d, j.ConvMapping, opt)
 		}
 		if err != nil {
 			return Result{}, err
@@ -143,7 +159,7 @@ func Run(j Job) (Result, error) {
 		if j.Input == nil || j.Weights == nil {
 			return Result{}, fmt.Errorf("farm: dense job needs input and weight tensors")
 		}
-		out, st, err := api.Dense(cfg, j.Input, j.Weights, j.FCMapping)
+		out, st, err := api.DenseOpts(cfg, j.Input, j.Weights, j.FCMapping, api.Options{Reference: j.Reference})
 		if err != nil {
 			return Result{}, err
 		}
@@ -160,6 +176,7 @@ func runDry(cfg config.HWConfig, j Job) (Result, error) {
 		return Result{}, err
 	}
 	eng.DryRun = true
+	eng.Reference = j.Reference
 	switch j.Kind {
 	case Conv2D:
 		d := j.Dims

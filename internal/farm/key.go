@@ -22,8 +22,9 @@ const keyVersion = "bifrost/farm/v1"
 // they describe the same simulation, and keys are stable across processes
 // and platforms (golden values are pinned in key_test.go and
 // testdata/job_keys.golden; the fuzz target in key_fuzz_test.go checks the
-// equivalence both ways). ExecWorkers is deliberately excluded: it cannot
-// change the result, only the wall-clock time of computing it.
+// equivalence both ways). ExecWorkers and Reference are deliberately
+// excluded: neither can change the result — only the wall-clock time of
+// computing it — so fused and reference submissions share cache entries.
 //
 // Keys also name the disk-tier cache files, so any change to this encoding
 // must bump both keyVersion and DiskFormatVersion.

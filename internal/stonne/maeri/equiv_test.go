@@ -35,9 +35,9 @@ func TestAnalyticConvMatchesReference(t *testing.T) {
 	maps := []mapping.ConvMapping{
 		{TR: 1, TS: 1, TC: 1, TK: 1, TG: 1, TN: 1, TX: 1, TY: 1},
 		{TR: 3, TS: 3, TC: 1, TK: 2, TG: 1, TN: 1, TX: 2, TY: 2},
-		{TR: 2, TS: 2, TC: 3, TK: 1, TG: 1, TN: 1, TX: 3, TY: 2},  // boundary-heavy: 2∤3, 3∤8
-		{TR: 1, TS: 3, TC: 2, TK: 3, TG: 1, TN: 1, TX: 4, TY: 3},  // boundary on C, K, X, Y
-		{TR: 3, TS: 1, TC: 1, TK: 2, TG: 2, TN: 1, TX: 2, TY: 5},  // G tile > 1
+		{TR: 2, TS: 2, TC: 3, TK: 1, TG: 1, TN: 1, TX: 3, TY: 2}, // boundary-heavy: 2∤3, 3∤8
+		{TR: 1, TS: 3, TC: 2, TK: 3, TG: 1, TN: 1, TX: 4, TY: 3}, // boundary on C, K, X, Y
+		{TR: 3, TS: 1, TC: 1, TK: 2, TG: 2, TN: 1, TX: 2, TY: 5}, // G tile > 1
 	}
 	cfgs := []config.HWConfig{
 		maeriCfg(256, 4, 4, true, config.ASNetwork),
@@ -117,6 +117,113 @@ func TestAnalyticDenseMatchesReference(t *testing.T) {
 				if fast != ref {
 					t.Errorf("geo=%+v mapping=%s cfg=%+v:\n analytic %+v\n reference %+v", g, m, cfg, fast, ref)
 				}
+			}
+		}
+	}
+}
+
+// TestFusedConvMatchesStepLoop proves the full-accuracy fused fast path —
+// analytic counters plus the fused arithmetic kernel — bit-identical (Stats
+// AND output bytes) to the step-loop reference across geometries, mappings
+// and hardware configurations, including boundary-heavy tiles, groups,
+// strides and padding (where the reference skips out-of-window taps).
+func TestFusedConvMatchesStepLoop(t *testing.T) {
+	dims := []tensor.ConvDims{
+		{N: 1, C: 4, H: 8, W: 8, K: 8, R: 3, S: 3, PadH: 1, PadW: 1},
+		{N: 2, C: 6, H: 7, W: 9, K: 4, R: 3, S: 3},
+		{N: 1, C: 8, H: 11, W: 11, K: 8, R: 3, S: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+		{N: 1, C: 8, H: 10, W: 10, K: 8, R: 3, S: 3, G: 2, PadH: 1, PadW: 1},
+		{N: 3, C: 6, H: 9, W: 9, K: 6, R: 5, S: 5, G: 3, StrideH: 2, StrideW: 2, PadH: 2, PadW: 2},
+		{N: 1, C: 5, H: 13, W: 13, K: 7, R: 1, S: 1},
+	}
+	maps := []mapping.ConvMapping{
+		{TR: 1, TS: 1, TC: 1, TK: 1, TG: 1, TN: 1, TX: 1, TY: 1},
+		{TR: 3, TS: 3, TC: 1, TK: 2, TG: 1, TN: 1, TX: 2, TY: 2},
+		{TR: 2, TS: 2, TC: 3, TK: 1, TG: 1, TN: 1, TX: 3, TY: 2}, // boundary-heavy reduction tiles
+		{TR: 1, TS: 3, TC: 2, TK: 3, TG: 1, TN: 1, TX: 4, TY: 3},
+		{TR: 3, TS: 1, TC: 1, TK: 2, TG: 2, TN: 1, TX: 2, TY: 5},
+	}
+	cfg := maeriCfg(256, 4, 4, true, config.ASNetwork)
+	for di, d := range dims {
+		dd := d
+		if err := dd.Resolve(); err != nil {
+			t.Fatal(err)
+		}
+		in := tensor.RandomUniform(int64(100+di), 1, dd.N, dd.H, dd.W, dd.C)
+		ker := tensor.RandomUniform(int64(200+di), 1, dd.R, dd.S, dd.C/dd.G, dd.K)
+		// Zeros in the activations exercise the fused kernel's sparse skip
+		// (a bitwise no-op the reference performs as ±0 additions).
+		tensor.Prune(in, 0.25)
+		for _, m := range maps {
+			if err := m.Validate(dd, 256); err != nil {
+				continue
+			}
+			eng, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fusedOut, fused, err := eng.Conv2D(in, ker, dd, m)
+			if err != nil {
+				t.Fatalf("fused: %v", err)
+			}
+			eng.Reference = true
+			refOut, ref, err := eng.Conv2D(in, ker, dd, m)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			if fused != ref {
+				t.Errorf("dims=%+v mapping=[%s]: fused stats diverge:\n fused %+v\n ref   %+v", d, m, fused, ref)
+			}
+			if i := tensor.FirstBitDiff(refOut, fusedOut); i >= 0 {
+				t.Errorf("dims=%+v mapping=[%s]: fused output diverges at element %d: %v vs %v",
+					d, m, i, fusedOut.Data()[i], refOut.Data()[i])
+			}
+		}
+	}
+}
+
+// TestFusedDenseMatchesStepLoop is the dense-layer analogue: output bytes
+// and Stats of the fused path must match the step loop for every K tiling.
+func TestFusedDenseMatchesStepLoop(t *testing.T) {
+	type geo struct{ m, k, n int }
+	geos := []geo{
+		{1, 256, 64},
+		{3, 100, 37},
+		{2, 17, 5}, // output neurons not a multiple of the 4-wide micro-block
+	}
+	maps := []mapping.FCMapping{
+		{TS: 1, TN: 1, TK: 1},
+		{TS: 4, TN: 1, TK: 8},
+		{TS: 5, TN: 1, TK: 3},
+		{TS: 2, TN: 2, TK: 7},
+	}
+	cfg := maeriCfg(256, 4, 4, true, config.ASNetwork)
+	for gi, g := range geos {
+		in := tensor.RandomUniform(int64(300+gi), 1, g.m, g.k)
+		w := tensor.RandomUniform(int64(400+gi), 1, g.n, g.k)
+		for _, m := range maps {
+			if err := m.Validate(g.m, g.k, g.n, 256); err != nil {
+				continue
+			}
+			eng, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fusedOut, fused, err := eng.Dense(in, w, m)
+			if err != nil {
+				t.Fatalf("fused: %v", err)
+			}
+			eng.Reference = true
+			refOut, ref, err := eng.Dense(in, w, m)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			if fused != ref {
+				t.Errorf("geo=%+v mapping=%s: fused stats diverge:\n fused %+v\n ref   %+v", g, m, fused, ref)
+			}
+			if i := tensor.FirstBitDiff(refOut, fusedOut); i >= 0 {
+				t.Errorf("geo=%+v mapping=%s: fused output diverges at element %d: %v vs %v",
+					g, m, i, fusedOut.Data()[i], refOut.Data()[i])
 			}
 		}
 	}

@@ -34,17 +34,23 @@ type Engine struct {
 
 	// DryRun skips output arithmetic while keeping every counter exact;
 	// cycle counts do not depend on operand values for the dense MAERI
-	// pipeline. Used by mapping search loops. Dry runs take the analytical
-	// fast path: interior tile steps with identical effective tile sizes
-	// have identical cost, so the loop nest collapses to at most two size
-	// classes per axis and the per-class cost is multiplied by the class
-	// count — O(boundary classes) instead of O(steps), with bit-identical
-	// Stats (proven by the equivalence tests).
+	// pipeline. Used by mapping search loops.
+	//
+	// Counters and arithmetic are decoupled (PR 4): by default neither dry
+	// nor full-accuracy runs enter the step loop. Stats always come from
+	// the analytical fast path — interior tile steps with identical
+	// effective tile sizes have identical cost, so the loop nest collapses
+	// to at most two size classes per axis, O(boundary classes) instead of
+	// O(steps) — and a full-accuracy run computes its output tensor through
+	// the fused arithmetic kernels (fused.go), which reproduce the step
+	// loop's per-reduction-tile accumulation order exactly. Both halves are
+	// bit-identical to the reference (proven by the equivalence tests).
 	DryRun bool
 
-	// Reference forces the step-loop reference implementation even for dry
-	// runs. It exists to validate the analytical engine and to reproduce
-	// its derivation; production tuning loops leave it false.
+	// Reference forces the step-loop reference implementation — counters
+	// and, for full-accuracy runs, arithmetic. It exists to validate the
+	// analytical engine and the fused arithmetic and to reproduce their
+	// derivation; production paths leave it false.
 	Reference bool
 
 	// Fabrics are created lazily on the first full-accuracy call and reset
@@ -134,9 +140,14 @@ func (e *Engine) Conv2D(in, kernel *tensor.Tensor, d tensor.ConvDims, m mapping.
 			return nil, stats.Stats{}, fmt.Errorf("maeri: kernel shape %v is not RSCK [%d %d %d %d]", kernel.Shape(), d.R, d.S, d.C/d.G, d.K)
 		}
 	}
-	if e.DryRun && !e.Reference {
+	if !e.Reference {
+		// Fused fast path: analytic counters, and for full-accuracy runs
+		// the fused arithmetic kernel — the step loop is never entered.
 		st := e.analyticConv(d, m)
-		return nil, st, nil
+		if e.DryRun {
+			return nil, st, nil
+		}
+		return fusedConv(in, kernel, d, m), st, nil
 	}
 	dn, rn, ab, err := e.fabrics()
 	if err != nil {
@@ -304,9 +315,12 @@ func (e *Engine) Dense(in, weights *tensor.Tensor, m mapping.FCMapping) (*tensor
 	if err := m.Validate(batches, inN, outN, e.cfg.MSSize); err != nil {
 		return nil, stats.Stats{}, err
 	}
-	if e.DryRun && !e.Reference {
+	if !e.Reference {
 		st := e.analyticDense(batches, inN, outN, m)
-		return nil, st, nil
+		if e.DryRun {
+			return nil, st, nil
+		}
+		return fusedDense(in, weights, m), st, nil
 	}
 	dn, rn, ab, err := e.fabrics()
 	if err != nil {

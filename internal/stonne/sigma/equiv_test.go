@@ -33,9 +33,29 @@ func TestGEMMStatsMatchesSimulation(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				_, want, err := full.GEMM(stationary, streaming)
+				full.Reference = true
+				wantOut, want, err := full.GEMM(stationary, streaming)
 				if err != nil {
 					t.Fatal(err)
+				}
+
+				// The default full-accuracy path is now fused: analytic
+				// counters + fast GEMM arithmetic, never the chunk loop.
+				// Stats AND output bytes must match the reference.
+				fusedEng, err := NewEngine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fusedOut, fused, err := fusedEng.GEMM(stationary, streaming)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fused != want {
+					t.Errorf("geo=%+v sparsity=%.1f accum=%v: fused stats diverge:\n fused %+v\n ref   %+v", g, sp, accum, fused, want)
+				}
+				if i := tensor.FirstBitDiff(wantOut, fusedOut); i >= 0 {
+					t.Errorf("geo=%+v sparsity=%.1f accum=%v: fused output diverges at element %d: %v vs %v",
+						g, sp, accum, i, fusedOut.Data()[i], wantOut.Data()[i])
 				}
 				got, err := full.GEMMStats(stationary, g.m)
 				if err != nil {

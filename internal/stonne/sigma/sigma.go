@@ -31,7 +31,19 @@ type Engine struct {
 	// columns, so the dry run folds the column loop into a multiplication
 	// and needs only the stationary operand — O(nnz) instead of
 	// O(nnz × columns).
+	//
+	// Counters and arithmetic are decoupled (PR 4): by default full-accuracy
+	// runs also skip the chunk-by-chunk simulation loop — Stats come from
+	// the O(nnz) GEMMStats pass and the output from the fast GEMM kernel,
+	// both bit-identical to the reference (the chunk loop adds every
+	// stationary nonzero's product directly onto its output element in
+	// ascending-K order, exactly the chain tensor.GEMM computes).
 	DryRun bool
+
+	// Reference forces the chunk-by-chunk simulation loop — counters and,
+	// for full-accuracy runs, arithmetic. It exists to validate the fused
+	// fast path and to reproduce its derivation.
+	Reference bool
 
 	dn *fabric.DistributionNetwork
 	rn *fabric.ReductionNetwork
@@ -131,9 +143,19 @@ func (e *Engine) GEMM(stationary, streaming *tensor.Tensor) (*tensor.Tensor, sta
 	if k != k2 {
 		return nil, stats.Stats{}, fmt.Errorf("sigma: GEMM inner dimensions differ: %v × %v", stationary.Shape(), streaming.Shape())
 	}
-	if e.DryRun {
+	if !e.Reference {
+		// Fused fast path: O(nnz) analytic counters, and for full-accuracy
+		// runs the fast GEMM kernel — the chunk loop is never entered. The
+		// reference arithmetic accumulates each output element directly,
+		// one add per stationary nonzero in ascending K (chunk boundaries
+		// never regroup the chain), so tensor.GEMM — whose sparse route
+		// skips the zero rows the chunk loop never materialised, a bitwise
+		// no-op — reproduces the output bytes exactly.
 		st, err := e.GEMMStats(stationary, m)
-		return nil, st, err
+		if err != nil || e.DryRun {
+			return nil, st, err
+		}
+		return tensor.GEMM(stationary, streaming), st, nil
 	}
 	dn, rn, ab, err := e.fabrics()
 	if err != nil {

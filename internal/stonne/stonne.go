@@ -54,6 +54,25 @@ func New(cfg config.HWConfig) (*Simulator, error) {
 // Config returns the (normalised) hardware configuration.
 func (s *Simulator) Config() config.HWConfig { return s.cfg }
 
+// SetReference forces (or releases) the step-loop / cycle-ticked reference
+// implementation of whichever engine the simulator drives. By default every
+// engine runs its fused fast path — analytic counters plus fast arithmetic —
+// which is bit-identical to the reference (Stats and output bytes; the
+// engines' equivalence suites enforce it), so Reference exists only to
+// validate the fast paths and to reproduce their derivation. It returns s
+// for chaining.
+func (s *Simulator) SetReference(on bool) *Simulator {
+	switch {
+	case s.maeriEng != nil:
+		s.maeriEng.Reference = on
+	case s.sigmaEng != nil:
+		s.sigmaEng.Reference = on
+	case s.tpuEng != nil:
+		s.tpuEng.Reference = on
+	}
+	return s
+}
+
 // SupportsDirectConv reports whether the architecture executes convolutions
 // natively. SIGMA and the TPU only support GEMM, so the API layer lowers
 // their convolutions via im2col (§V-B-2/3).

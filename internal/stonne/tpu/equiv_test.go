@@ -14,7 +14,7 @@ func TestGEMMStatsMatchesMesh(t *testing.T) {
 	type geo struct{ m, k, n int }
 	geos := []geo{
 		{8, 8, 8},
-		{13, 5, 9},  // boundary tiles on both axes
+		{13, 5, 9}, // boundary tiles on both axes
 		{1, 17, 1},
 		{20, 3, 33},
 	}
@@ -26,9 +26,29 @@ func TestGEMMStatsMatchesMesh(t *testing.T) {
 		}
 		a := tensor.RandomUniform(int64(g.m), 1, g.m, g.k)
 		b := tensor.RandomUniform(int64(g.n), 1, g.k, g.n)
-		_, want, err := eng.GEMM(a, b)
+		eng.Reference = true
+		wantOut, want, err := eng.GEMM(a, b)
 		if err != nil {
 			t.Fatal(err)
+		}
+
+		// The default full-accuracy path is now fused: closed-form counters
+		// + fast GEMM arithmetic, never the cycle-ticked mesh. Stats AND
+		// output bytes must match the mesh.
+		fusedEng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fusedOut, fused, err := fusedEng.GEMM(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused != want {
+			t.Errorf("geo=%+v: fused stats diverge:\n fused %+v\n mesh %+v", g, fused, want)
+		}
+		if i := tensor.FirstBitDiff(wantOut, fusedOut); i >= 0 {
+			t.Errorf("geo=%+v: fused output diverges at element %d: %v vs %v",
+				g, i, fusedOut.Data()[i], wantOut.Data()[i])
 		}
 		got, err := eng.GEMMStats(g.m, g.k, g.n)
 		if err != nil {

@@ -27,7 +27,19 @@ type Engine struct {
 	// DryRun skips the cycle-ticked mesh while keeping every counter exact:
 	// the OS_MESH's per-tile cost is a closed-form function of the tile
 	// geometry, so the whole GEMM collapses to a handful of tile classes.
+	//
+	// Counters and arithmetic are decoupled (PR 4): by default full-accuracy
+	// runs also skip the cycle-ticked mesh — Stats come from the closed
+	// form and the output from the fast GEMM kernel, both bit-identical to
+	// the mesh (each PE accumulates its output element's products in
+	// ascending-K order with ±0 no-ops while operands are in flight,
+	// exactly the chain tensor.GEMM computes).
 	DryRun bool
+
+	// Reference forces the cycle-ticked mesh — counters and, for
+	// full-accuracy runs, arithmetic. It exists to validate the fused fast
+	// path and to reproduce its derivation.
+	Reference bool
 
 	mesh *fabric.SystolicMesh
 }
@@ -56,9 +68,18 @@ func (e *Engine) GEMM(a, b *tensor.Tensor) (*tensor.Tensor, stats.Stats, error) 
 	if k != k2 {
 		return nil, stats.Stats{}, fmt.Errorf("tpu: GEMM inner dimensions differ: %v × %v", a.Shape(), b.Shape())
 	}
-	if e.DryRun {
+	if !e.Reference {
+		// Fused fast path: closed-form counters, and for full-accuracy runs
+		// the fast GEMM kernel — the mesh is never ticked. A mesh PE's
+		// accumulator sums a[r,i]·b[i,c] for i ascending (the skew aligns
+		// both operands on the same index; out-of-range ticks multiply
+		// zero-fed registers, contributing ±0 no-ops), so tensor.GEMM
+		// reproduces the output bytes exactly.
 		st, err := e.GEMMStats(m, k, n)
-		return nil, st, err
+		if err != nil || e.DryRun {
+			return nil, st, err
+		}
+		return tensor.GEMM(a, b), st, nil
 	}
 	rows, cols := e.cfg.MSRows, e.cfg.MSCols
 	if e.mesh == nil || e.mesh.Rows != rows || e.mesh.Cols != cols {

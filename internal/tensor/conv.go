@@ -102,6 +102,11 @@ func ConvGEMMImplicit(in, kernel *Tensor, d ConvDims, workers int) *Tensor {
 		km := KernelMatrix(kernel, d, g) // kg × rows, weight-stationary
 		kmD := km.Data()
 		kgBase := g * kg
+		// Dense kernels take the packed register-blocked micro-kernel;
+		// pruned ones (the SIGMA lowering) keep the skip-zero axpy loop.
+		// Both accumulate each output element in ascending (C, R, S) order
+		// in one running chain, so the result is bitwise identical.
+		packed := packedWorthIt(kg, rows, min(im2colBlockCols, cols)) && !sparseWorthSkipping(kmD)
 
 		run := func(panel, acc []float32, block int) {
 			col0 := block * im2colBlockCols
@@ -111,16 +116,20 @@ func ConvGEMMImplicit(in, kernel *Tensor, d ConvDims, workers int) *Tensor {
 			for i := range acc {
 				acc[i] = 0
 			}
-			for kk := 0; kk < kg; kk++ {
-				wrow := kmD[kk*rows : (kk+1)*rows]
-				crow := acc[kk*width : (kk+1)*width]
-				for l, wv := range wrow {
-					if wv == 0 {
-						continue
-					}
-					brow := panel[l*width : (l+1)*width]
-					for j := range crow {
-						crow[j] += wv * brow[j]
+			if packed {
+				gemmPackedAccum(kmD, panel[:rows*width], acc, kg, rows, width)
+			} else {
+				for kk := 0; kk < kg; kk++ {
+					wrow := kmD[kk*rows : (kk+1)*rows]
+					crow := acc[kk*width : (kk+1)*width]
+					for l, wv := range wrow {
+						if wv == 0 {
+							continue
+						}
+						brow := panel[l*width : (l+1)*width]
+						for j := range crow {
+							crow[j] += wv * brow[j]
+						}
 					}
 				}
 			}

@@ -8,9 +8,22 @@ import (
 )
 
 // GEMM computes C = A × B for 2-D tensors A (M×K) and B (K×N).
-// This is the reference matrix multiply used by the CPU target and by the
-// GEMM lowering of convolutions for the SIGMA and TPU architectures.
+// This is the matrix multiply used by the CPU target and by the GEMM
+// lowering of convolutions for the SIGMA and TPU architectures. Large dense
+// problems route through the packed register-blocked micro-kernel
+// (packgemm.go); small or sparse-stationary ones stay on the skip-zero
+// reference loop. Every route accumulates each output element in ascending-K
+// order in one running chain, so the float32 result is bitwise identical
+// regardless of which kernel ran (pinned by TestPackedGEMMBitwiseEqual).
 func GEMM(a, b *Tensor) *Tensor {
+	m, k, n := gemmDims(a, b)
+	out := New(m, n)
+	gemmAuto(a.data, b.data, out.data, m, k, n, 0)
+	return out
+}
+
+// gemmDims validates a GEMM operand pair and returns (M, K, N).
+func gemmDims(a, b *Tensor) (int, int, int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: GEMM requires 2-D operands, got %v × %v", a.shape, b.shape))
 	}
@@ -19,71 +32,42 @@ func GEMM(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: GEMM inner dimensions differ: %v × %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	// ikj loop order: streams B rows, vectorises well, no bounds surprises.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		crow := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := range crow {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
-	return out
+	return m, k, n
 }
 
-// GEMMBlocked computes C = A × B with cache blocking. The reduction axis is
-// traversed in ascending order within each row exactly as GEMM does, so the
-// per-element summation order — and therefore the float32 result — is
-// bitwise identical to GEMM's.
+// gemmAuto accumulates c += a × b, picking the packed micro-kernel for
+// problems where its packing preamble pays off and the reference skip-zero
+// loop otherwise (tiny shapes, or a stationary operand sparse enough that
+// skipping whole zero rows beats dense register tiling). kc <= 0 selects the
+// tuned K-panel size.
+func gemmAuto(a, b, c []float32, m, k, n, kc int) {
+	if !packedWorthIt(m, k, n) || sparseWorthSkipping(a) {
+		gemmRows(a, b, c, 0, m, k, n, 0)
+		return
+	}
+	gemmPackedRange(a, b, c, k, n, 0, m, kc)
+}
+
+// GEMMBlocked computes C = A × B with explicit cache blocking: block sizes
+// the K panel of the packed micro-kernel (block <= 0 selects the tuned
+// default, so GEMMBlocked(a, b, 0) ≡ GEMM(a, b) on the dense route). The
+// per-element summation order — ascending K in one running chain — and
+// therefore the float32 result is bitwise identical to GEMM's for every
+// block size.
 func GEMMBlocked(a, b *Tensor, block int) *Tensor {
-	if block <= 0 {
-		block = 64
-	}
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: GEMM requires 2-D operands, got %v × %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: GEMM inner dimensions differ: %v × %v", a.shape, b.shape))
-	}
+	m, k, n := gemmDims(a, b)
 	out := New(m, n)
-	for ii := 0; ii < m; ii += block {
-		iMax := min(ii+block, m)
-		for pp := 0; pp < k; pp += block {
-			pMax := min(pp+block, k)
-			for i := ii; i < iMax; i++ {
-				crow := out.data[i*n : (i+1)*n]
-				for p := pp; p < pMax; p++ {
-					av := a.data[i*k+p]
-					if av == 0 {
-						continue
-					}
-					brow := b.data[p*n : (p+1)*n]
-					for j := range crow {
-						crow[j] += av * brow[j]
-					}
-				}
-			}
-		}
-	}
+	gemmAuto(a.data, b.data, out.data, m, k, n, block)
 	return out
 }
 
-// GEMMParallel computes C = A × B with cache blocking and row-band worker
-// goroutines: the M axis is split into bands, each owned by exactly one
-// worker, so no output element is ever written by two goroutines and the
+// GEMMParallel computes C = A × B with row-band worker goroutines over the
+// packed micro-kernel: the M axis is split into bands, each owned by exactly
+// one worker, so no output element is ever written by two goroutines and the
 // per-element summation order (ascending K, as in GEMM) is independent of
 // the worker count — the result is bitwise identical to GEMM's.
-// workers <= 0 selects GOMAXPROCS; block <= 0 selects the GEMMBlocked
-// default.
+// workers <= 0 selects GOMAXPROCS; block <= 0 selects the default band of 64
+// rows (bands are merged so each worker repacks B as few times as possible).
 func GEMMParallel(a, b *Tensor, block, workers int) *Tensor {
 	if block <= 0 {
 		block = 64
@@ -91,23 +75,24 @@ func GEMMParallel(a, b *Tensor, block, workers int) *Tensor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: GEMM requires 2-D operands, got %v × %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: GEMM inner dimensions differ: %v × %v", a.shape, b.shape))
-	}
+	m, k, n := gemmDims(a, b)
 	out := New(m, n)
 	bands := (m + block - 1) / block
 	if workers > bands {
 		workers = bands
 	}
 	if workers <= 1 {
-		gemmRows(a.data, b.data, out.data, 0, m, k, n, block)
+		gemmAuto(a.data, b.data, out.data, m, k, n, 0)
 		return out
 	}
+	// Merge bands so every worker gets at most one contiguous run per pass:
+	// each band still has exactly one owner (rows are written once), but the
+	// per-band B repacking is amortised over bigger row ranges.
+	if merged := (m + workers - 1) / workers; merged > block {
+		block = merged
+		bands = (m + block - 1) / block
+	}
+	sparse := sparseWorthSkipping(a.data)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -121,7 +106,11 @@ func GEMMParallel(a, b *Tensor, block, workers int) *Tensor {
 				}
 				i0 := band * block
 				i1 := min(i0+block, m)
-				gemmRows(a.data, b.data, out.data, i0, i1, k, n, block)
+				if !packedWorthIt(i1-i0, k, n) || sparse {
+					gemmRows(a.data, b.data, out.data, i0, i1, k, n, 0)
+				} else {
+					gemmPackedRange(a.data, b.data, out.data, k, n, i0, i1, 0)
+				}
 			}
 		}()
 	}
@@ -129,9 +118,14 @@ func GEMMParallel(a, b *Tensor, block, workers int) *Tensor {
 	return out
 }
 
-// gemmRows computes the [i0, i1) row band of C = A × B with K blocking,
-// preserving GEMM's ascending-K per-element summation order.
+// gemmRows computes the [i0, i1) row band of C += A × B with the reference
+// ikj loop (optionally K-blocked; block <= 0 disables blocking), skipping
+// zero A elements. This is the kernel every faster route must match bit for
+// bit: ascending-K per-element summation in one running chain.
 func gemmRows(a, b, c []float32, i0, i1, k, n, block int) {
+	if block <= 0 {
+		block = k
+	}
 	for pp := 0; pp < k; pp += block {
 		pMax := min(pp+block, k)
 		for i := i0; i < i1; i++ {

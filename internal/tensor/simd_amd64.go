@@ -1,0 +1,39 @@
+//go:build amd64
+
+package tensor
+
+// hasAVX gates the AVX micro-kernels in simd_amd64.s. The assembly is
+// AVX-1 only (VBROADCASTSS / VMULPS / VADDPS), detected once at init; when
+// absent the pure-Go fallbacks run instead, producing bit-identical results.
+var hasAVX = cpuHasAVX()
+
+// cpuHasAVX reports AVX support including OS YMM-state save (CPUID +
+// XGETBV). Implemented in simd_amd64.s.
+func cpuHasAVX() bool
+
+// dot8CarryAsm is the AVX packed-GEMM inner kernel; see simd_amd64.s.
+func dot8CarryAsm(k int, a, b, c *float32)
+
+// panelDot8Asm is the AVX fused-convolution inner kernel; see simd_amd64.s.
+func panelDot8Asm(nv, nblocks int, a, panel, dst *float32)
+
+// dot8Carry accumulates c[j] += Σ_p a[p]·b[p·8+j] (j < 8, ascending p, one
+// running chain seeded by the incoming c) over a packed 8-wide B panel.
+func dot8Carry(k int, a, b, c []float32) {
+	if hasAVX && k > 0 {
+		dot8CarryAsm(k, &a[0], &b[0], &c[0])
+		return
+	}
+	dot8CarryGo(k, a, b, c)
+}
+
+// panelDot8 runs the fused-conv panel kernel: fresh 8-wide accumulators per
+// block, ascending-tap sums, one add onto dst per block. nv and nblocks
+// must both be positive.
+func panelDot8(nv, nblocks int, a, panel, dst []float32) {
+	if hasAVX {
+		panelDot8Asm(nv, nblocks, &a[0], &panel[0], &dst[0])
+		return
+	}
+	panelDot8Go(nv, nblocks, a, panel, dst)
+}

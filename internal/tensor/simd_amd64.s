@@ -1,0 +1,107 @@
+// AVX micro-kernels for the packed GEMM and the fused convolution fast
+// path. Bitwise contract: every lane performs exactly the scalar sequence —
+// one VMULPS and one VADDPS per multiply-accumulate, in ascending reduction
+// order, with no FMA contraction — so each output element's float32 chain is
+// identical to the pure-Go kernels' (round-to-nearest per operation, IEEE
+// 754 single precision per lane). The Go fallbacks in simd_fallback.go are
+// the executable specification; TestSIMDKernelsMatchFallback pins them to
+// these implementations bit for bit.
+
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// CPUID leaf 1: ECX bit 28 = AVX, bit 27 = OSXSAVE; then XGETBV(0) bits
+// 2:1 confirm the OS preserves the XMM/YMM state across context switches.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  noavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dot8CarryAsm(k int, a, b, c *float32)
+//
+// The packed-GEMM inner kernel: c[0:8] is loaded into a register tile,
+// carries the running K chain — c[j] ← ((c[j] + a[0]·b[0·8+j]) + a[1]·b[1·8+j]) …
+// in ascending p — and is stored back. b is a packed 8-wide micro-panel
+// (contiguous groups of 8 per K step).
+TEXT ·dot8CarryAsm(SB), NOSPLIT, $0-32
+	MOVQ    k+0(FP), CX
+	MOVQ    a+8(FP), SI
+	MOVQ    b+16(FP), DI
+	MOVQ    c+24(FP), DX
+	VMOVUPS (DX), Y0
+	TESTQ   CX, CX
+	JZ      carrydone
+
+carryloop:
+	VBROADCASTSS (SI), Y1
+	VMULPS       (DI), Y1, Y1
+	VADDPS       Y1, Y0, Y0
+	ADDQ         $4, SI
+	ADDQ         $32, DI
+	DECQ         CX
+	JNZ          carryloop
+
+carrydone:
+	VMOVUPS Y0, (DX)
+	VZEROUPPER
+	RET
+
+// func panelDot8Asm(nv, nblocks int, a, panel, dst *float32)
+//
+// The fused-convolution inner kernel: for each of nblocks 8-wide output
+// blocks, a fresh accumulator sums a[t]·panel[(kb·nv+t)·8+j] in ascending t
+// and is then added onto dst — the reference step loop's fresh
+// per-reduction-tile accumulator followed by its single `out += acc`.
+// The panel is laid out [block][tap][8], so DI advances continuously.
+TEXT ·panelDot8Asm(SB), NOSPLIT, $0-40
+	MOVQ nv+0(FP), R9
+	MOVQ nblocks+8(FP), BX
+	MOVQ a+16(FP), R8
+	MOVQ panel+24(FP), DI
+	MOVQ dst+32(FP), DX
+
+pdblock:
+	TESTQ  BX, BX
+	JZ     pddone
+	VXORPS Y0, Y0, Y0
+	MOVQ   R8, SI
+	MOVQ   R9, CX
+	TESTQ  CX, CX
+	JZ     pdflush
+
+pdtap:
+	VBROADCASTSS (SI), Y1
+	VMULPS       (DI), Y1, Y1
+	VADDPS       Y1, Y0, Y0
+	ADDQ         $4, SI
+	ADDQ         $32, DI
+	DECQ         CX
+	JNZ          pdtap
+
+pdflush:
+	VADDPS  (DX), Y0, Y0
+	VMOVUPS Y0, (DX)
+	ADDQ    $32, DX
+	DECQ    BX
+	JMP     pdblock
+
+pddone:
+	VZEROUPPER
+	RET

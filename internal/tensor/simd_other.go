@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always take the pure-Go kernels, which are bit-identical
+// to the assembly by contract (see simd_fallback.go).
+
+var hasAVX = false
+
+func dot8Carry(k int, a, b, c []float32)                 { dot8CarryGo(k, a, b, c) }
+func panelDot8(nv, nblocks int, a, panel, dst []float32) { panelDot8Go(nv, nblocks, a, panel, dst) }

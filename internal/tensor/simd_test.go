@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSIMDKernelsMatchFallback pins the AVX micro-kernels to their pure-Go
+// specification bit for bit, across lengths that exercise the unrolled and
+// remainder paths. On machines without AVX the dispatch and the fallback are
+// the same code and the test passes trivially.
+func TestSIMDKernelsMatchFallback(t *testing.T) {
+	if !hasAVX {
+		t.Log("no AVX: dispatch equals fallback by construction")
+	}
+	for _, k := range []int{1, 2, 3, 7, 8, 9, 64, 255, 256} {
+		a := RandomUniform(int64(k), 1, k).Data()
+		b := RandomUniform(int64(k)+100, 1, k*8).Data()
+		cWant := RandomUniform(7, 1, 8).Data()
+		cGot := append([]float32(nil), cWant...)
+
+		dot8CarryGo(k, a, b, cWant)
+		dot8Carry(k, a, b, cGot)
+		for j := range cWant {
+			if math.Float32bits(cWant[j]) != math.Float32bits(cGot[j]) {
+				t.Fatalf("dot8Carry k=%d lane %d: %v (%08x) vs fallback %v (%08x)",
+					k, j, cGot[j], math.Float32bits(cGot[j]), cWant[j], math.Float32bits(cWant[j]))
+			}
+		}
+	}
+	for _, nv := range []int{1, 2, 3, 9, 36} {
+		for _, nblocks := range []int{1, 2, 5, 32} {
+			a := RandomUniform(int64(nv), 1, nv).Data()
+			panel := RandomUniform(int64(nblocks), 1, nblocks*nv*8).Data()
+			dWant := RandomUniform(9, 1, nblocks*8).Data()
+			dGot := append([]float32(nil), dWant...)
+
+			panelDot8Go(nv, nblocks, a, panel, dWant)
+			panelDot8(nv, nblocks, a, panel, dGot)
+			for j := range dWant {
+				if math.Float32bits(dWant[j]) != math.Float32bits(dGot[j]) {
+					t.Fatalf("panelDot8 nv=%d nblocks=%d lane %d: %v vs fallback %v",
+						nv, nblocks, j, dGot[j], dWant[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPackedGEMMWithoutAVX forces the pure-Go kernels and re-checks the
+// packed route against the reference loop, so the fallback stays proven on
+// machines where CI only ever runs the AVX path.
+func TestPackedGEMMWithoutAVX(t *testing.T) {
+	if !hasAVX {
+		t.Skip("already running without AVX")
+	}
+	hasAVX = false
+	defer func() { hasAVX = true }()
+
+	a := RandomUniform(1, 1, 97, 130)
+	b := RandomUniform(2, 1, 130, 61)
+	want := refGEMM(a, b)
+	got := GEMM(a, b)
+	if i := FirstBitDiff(want, got); i >= 0 {
+		t.Fatalf("fallback packed GEMM diverges at element %d", i)
+	}
+}

@@ -138,6 +138,22 @@ func MaxAbsDiff(a, b *Tensor) float64 {
 	return m
 }
 
+// FirstBitDiff returns the index of the first element whose float32 bit
+// pattern differs between a and b, or -1 when the tensors are bitwise
+// identical. It panics if the shapes differ. This is the comparison the
+// fused fast-path equivalence suites use: bitwise, not approximate.
+func FirstBitDiff(a, b *Tensor) int {
+	if !ShapeEq(a.shape, b.shape) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	for i := range a.data {
+		if math.Float32bits(a.data[i]) != math.Float32bits(b.data[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
 // AllClose reports whether every element of a and b differs by at most tol,
 // measured as |x-y| <= tol * max(1, |x|, |y|).
 func AllClose(a, b *Tensor, tol float64) bool {
