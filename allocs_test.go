@@ -1,0 +1,114 @@
+package bifrost
+
+// Allocation-regression tests for the allocation-free steady state (PR 5):
+// once the pack cache is warm and output tensors are recycled through the
+// arena, the fused full-accuracy Conv2D and Dense paths must run at ~0
+// allocations per operation. These pins are what keep the warm-sweep
+// throughput from regressing via allocator pressure — a change that
+// reintroduces per-job packing or fresh tensor allocations fails here
+// before it shows up in a benchmark.
+
+import (
+	"testing"
+
+	"repro/internal/stonne/config"
+	"repro/internal/stonne/maeri"
+	"repro/internal/stonne/mapping"
+	"repro/internal/tensor"
+)
+
+// steadyStateAllocs measures allocations per run after a warmup that fills
+// the pack cache and the tensor arena.
+func steadyStateAllocs(run func()) float64 {
+	for i := 0; i < 5; i++ {
+		run() // warm: publish packs, grow scratch, seed the arena
+	}
+	return testing.AllocsPerRun(50, run)
+}
+
+// TestFusedConvSteadyStateAllocFree pins the fused full-accuracy Conv2D
+// path — analytic counters plus the panel-streaming arithmetic — to ~0
+// allocs/op once the content-keyed panels are cached and outputs are
+// released back to the arena.
+func TestFusedConvSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is inflated under -race")
+	}
+	d := tensor.ConvDims{N: 1, C: 32, H: 8, W: 8, K: 32, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	m := mapping.ConvMapping{TR: 3, TS: 3, TC: 1, TK: 4, TG: 1, TN: 1, TX: 1, TY: 1}
+	in := tensor.RandomUniform(1, 1, d.N, d.H, d.W, d.C)
+	ker := tensor.RandomUniform(2, 1, d.R, d.S, d.C, d.K)
+	eng, err := maeri.NewEngine(config.Default(config.MAERIDenseWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Pack = tensor.NewPackCache(0, 0)
+
+	allocs := steadyStateAllocs(func() {
+		out, _, err := eng.Conv2D(in, ker, d, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Release()
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state fused Conv2D allocates %.1f/op, want ~0 (<= 2)", allocs)
+	}
+}
+
+// TestFusedDenseSteadyStateAllocFree pins the fused full-accuracy Dense
+// path the same way.
+func TestFusedDenseSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is inflated under -race")
+	}
+	in := tensor.RandomUniform(1, 1, 4, 256)
+	w := tensor.RandomUniform(2, 1, 128, 256)
+	m := mapping.FCMapping{TS: 8, TK: 4, TN: 1}
+	eng, err := maeri.NewEngine(config.Default(config.MAERIDenseWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Pack = tensor.NewPackCache(0, 0)
+
+	allocs := steadyStateAllocs(func() {
+		out, _, err := eng.Dense(in, w, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Release()
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state fused Dense allocates %.1f/op, want ~0 (<= 2)", allocs)
+	}
+}
+
+// TestAnalyticDryRunAllocFree pins the counters-only measurement path (the
+// tuner's cost signal) to zero allocations — it runs thousands of times per
+// mapping search.
+func TestAnalyticDryRunAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is inflated under -race")
+	}
+	d := tensor.ConvDims{N: 1, C: 64, H: 14, W: 14, K: 64, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	m := mapping.ConvMapping{TR: 3, TS: 3, TC: 1, TK: 8, TG: 1, TN: 1, TX: 1, TY: 1}
+	eng, err := maeri.NewEngine(config.Default(config.MAERIDenseWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.DryRun = true
+	allocs := steadyStateAllocs(func() {
+		if _, _, err := eng.Conv2D(nil, nil, d, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("analytic dry run allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -130,6 +130,28 @@ func FarmMaxBytes(b int64) FarmOption { return farm.WithMaxBytes(b) }
 // FarmDiskCache attaches a persistent tier to the farm.
 func FarmDiskCache(ds *DiskStore) FarmOption { return farm.WithDiskStore(ds) }
 
+// PackCache is the content-keyed cache of derived operand forms (packed
+// weight panels, kernel matrices, layout transposes) a farm shares across
+// jobs, so a sweep over fixed network weights packs each derived form once
+// instead of once per job. Results and cache keys are byte-identical with
+// or without one. Every farm carries a bounded PackCache by default;
+// FarmPackCache overrides it (nil disables pack reuse).
+type PackCache = tensor.PackCache
+
+// PackCacheStats is a snapshot of a pack cache's reuse counters, reported
+// as FarmStats.Pack.
+type PackCacheStats = tensor.PackStats
+
+// NewPackCache returns a bounded content-keyed pack cache; maxEntries <= 0
+// and maxBytes <= 0 each disable that bound.
+func NewPackCache(maxEntries int, maxBytes int64) *PackCache {
+	return tensor.NewPackCache(maxEntries, maxBytes)
+}
+
+// FarmPackCache replaces the farm's default shared pack cache — e.g. one
+// cache shared by several farms, or nil to disable pack reuse.
+func FarmPackCache(pc *PackCache) FarmOption { return farm.WithPackCache(pc) }
+
 // NewFarm returns a running simulation farm; workers <= 0 selects
 // GOMAXPROCS.
 func NewFarm(workers int, opts ...FarmOption) *Farm { return farm.New(workers, opts...) }

@@ -41,11 +41,13 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"runtime"
 	"time"
 
 	"repro/internal/farm"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -60,8 +62,21 @@ func main() {
 		diskMax    = flag.Int64("cache-disk-max-bytes", 0, "disk cache byte bound, LRU-evicted (0 = unbounded)")
 		warm       = flag.Bool("cache-warm", false, "preload the disk cache's entries into the in-memory LRU at startup (requires -cache-dir)")
 		execW      = flag.Int("exec-workers", 0, "default per-job arithmetic workers for GEMM-lowered convs (0/1 = serial, <0 = GOMAXPROCS); responses are byte-identical either way")
+		pprofAddr  = flag.String("pprof", "", "side-port listen address for net/http/pprof, e.g. localhost:6060 (empty = disabled)")
 	)
 	flag.Parse()
+
+	log.Printf("simd: %s kernels", tensor.SIMDLevel())
+	if *pprofAddr != "" {
+		go func() {
+			// The pprof import registers its handlers on the default mux;
+			// serving it on a side port keeps profiling off the public API.
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	opts := []farm.Option{farm.WithMaxEntries(*maxEntries), farm.WithMaxBytes(*maxBytes)}
 	if *cacheDir != "" {

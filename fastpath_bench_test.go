@@ -27,6 +27,7 @@ package bifrost
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/farm"
@@ -63,6 +64,7 @@ func BenchmarkMAERIDryRunConv(b *testing.B) {
 			}
 			eng.DryRun = true
 			eng.Reference = ref
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := eng.Conv2D(nil, nil, d, m); err != nil {
@@ -108,6 +110,7 @@ func BenchmarkFullAccuracyConv(b *testing.B) {
 					b.Fatal(err)
 				}
 				eng.Reference = ref
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, _, err := eng.Conv2D(in, ker, d, m); err != nil {
@@ -141,6 +144,7 @@ func BenchmarkFullAccuracyLowered(b *testing.B) {
 				HW: config.Default(config.TPUOSDense), Kind: farm.Conv2D,
 				Dims: d, Input: in, Weights: ker, Reference: ref,
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := farm.Run(job); err != nil {
@@ -169,6 +173,7 @@ func BenchmarkFullAccuracyDense(b *testing.B) {
 				b.Fatal(err)
 			}
 			eng.Reference = ref
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := eng.Dense(in, w, m); err != nil {
@@ -187,6 +192,7 @@ func BenchmarkConvLowering(b *testing.B) {
 	in := tensor.RandomUniform(1, 1, d.N, d.C, d.H, d.W)
 	kernel := tensor.RandomUniform(2, 1, d.K, d.C, d.R, d.S)
 	b.Run("im2col", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			km := tensor.KernelMatrix(kernel, d, 0)
 			cols := tensor.Im2Col(in, d, 0)
@@ -194,15 +200,98 @@ func BenchmarkConvLowering(b *testing.B) {
 		}
 	})
 	b.Run("implicit1", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tensor.ConvGEMMImplicit(in, kernel, d, 1)
 		}
 	})
 	b.Run("implicit", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tensor.ConvGEMMImplicit(in, kernel, d, 0)
 		}
 	})
+}
+
+// warmSweepMappings returns 16 distinct, valid MAERI mappings sharing one
+// reduction-tile decomposition (T_R=3, T_S=3, T_C=1) — the shape of a real
+// mapping search over a fixed layer, and the shape that lets the shared
+// pack cache reuse one set of kernel panels across the whole sweep.
+func warmSweepMappings() []mapping.ConvMapping {
+	var ms []mapping.ConvMapping
+	for tk := 1; tk <= 14; tk++ {
+		ms = append(ms, mapping.ConvMapping{TR: 3, TS: 3, TC: 1, TK: tk, TG: 1, TN: 1, TX: 1, TY: 1})
+	}
+	for _, tk := range []int{1, 2} {
+		ms = append(ms, mapping.ConvMapping{TR: 3, TS: 3, TC: 1, TK: tk, TG: 1, TN: 1, TX: 1, TY: 2})
+	}
+	return ms
+}
+
+// BenchmarkWarmSweep measures the PR 5 tentpole: jobs/sec of a warm
+// repeated-weight mapping sweep through the farm. Every iteration submits
+// the same NCHW weights under 16 distinct mappings with a fresh input
+// (result-cache misses by construction, so every job really simulates —
+// "warm" refers to the pack cache and arenas, not the result cache), with
+// farm workers = NumCPU.
+//
+//	pooled   — the default farm: shared content-keyed PackCache (kernel
+//	           layout conversion + per-tile panels packed once per sweep),
+//	           pooled tensor arenas, sharded memory store
+//	baseline — the PR 4 configuration: pack reuse disabled, arenas
+//	           bypassed, single-lock memory store
+//
+// Outputs and cache keys are byte-identical across the two (the farmtest
+// equivalence pass proves it); only jobs/sec differs.
+func BenchmarkWarmSweep(b *testing.B) {
+	d := tensor.ConvDims{N: 1, C: 256, H: 6, W: 6, K: 256, R: 3, S: 3, PadH: 1, PadW: 1}
+	if err := d.Resolve(); err != nil {
+		b.Fatal(err)
+	}
+	ker := tensor.RandomUniform(2, 1, d.K, d.C, d.R, d.S) // KCRS: the NCHW lowering path
+	mappings := warmSweepMappings()
+	cfg := config.Default(config.MAERIDenseWorkload)
+
+	variants := []struct {
+		name   string
+		pooled bool
+		opts   func() []farm.Option
+	}{
+		{"pooled", true, func() []farm.Option {
+			return []farm.Option{farm.WithMaxEntries(256)}
+		}},
+		{"baseline", false, func() []farm.Option {
+			return []farm.Option{farm.WithMaxEntries(256), farm.WithPackCache(nil),
+				farm.WithMemoryStore(farm.NewMemoryStore(256, 0))}
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			prev := tensor.SetPooling(v.pooled)
+			defer tensor.SetPooling(prev)
+			fm := farm.New(runtime.NumCPU(), v.opts()...)
+			defer fm.Close()
+
+			jobs := make([]farm.Job, len(mappings))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := tensor.RandomUniform(int64(1000+i), 1, d.N, d.C, d.H, d.W)
+				for j, m := range mappings {
+					jobs[j] = farm.Job{HW: cfg, Kind: farm.Conv2D, Dims: d,
+						ConvMapping: m, Input: in, Weights: ker, Seed: int64(i)}
+				}
+				if _, err := fm.DoBatch(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(mappings))/b.Elapsed().Seconds(), "jobs/s")
+			if st := fm.Stats(); st.Hits != 0 {
+				b.Fatalf("warm sweep was served from the result cache (%d hits): the measurement is void", st.Hits)
+			}
+		})
+	}
 }
 
 // benchGraph builds a four-branch CNN executed purely on the CPU operator

@@ -71,6 +71,13 @@ type Session struct {
 
 	farm *farm.Farm
 
+	// pack is the session's content-keyed cache of derived operand forms,
+	// used by the inline (farmless) execution path so repeated runs of the
+	// same model — or weight-sharing layers within one run — pack each
+	// derived form once. Farmed layers use the farm's shared cache instead.
+	// Results are byte-identical with or without it.
+	pack *tensor.PackCache
+
 	recmu   sync.Mutex
 	records []api.LayerRecord
 }
@@ -90,6 +97,7 @@ func NewSession(cfg config.HWConfig) (*Session, error) {
 		VerifyTolerance: 1e-3,
 		ConvMappings:    make(map[string]mapping.ConvMapping),
 		FCMappings:      make(map[string]mapping.FCMapping),
+		pack:            tensor.NewPackCache(tensor.DefaultPackCacheEntries, tensor.DefaultPackCacheBytes),
 	}, nil
 }
 
@@ -230,7 +238,7 @@ func (s *Session) offloadConv(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tens
 	if s.farm != nil {
 		res, err = s.farm.Do(job)
 	} else {
-		res, err = farm.Run(job)
+		res, err = farm.Run(job.WithPackCache(s.pack))
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("offloading conv2d %q: %w", n.Name, err)
@@ -267,7 +275,7 @@ func (s *Session) offloadDense(n *graph.Node, ins []*tensor.Tensor) (*tensor.Ten
 	if s.farm != nil {
 		res, err = s.farm.Do(job)
 	} else {
-		res, err = farm.Run(job)
+		res, err = farm.Run(job.WithPackCache(s.pack))
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("offloading dense %q: %w", n.Name, err)

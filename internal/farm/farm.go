@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/tensor"
 )
 
 // Farm is the concurrent simulation farm: a fixed pool of workers draining
@@ -40,6 +42,16 @@ type Farm struct {
 	disk     Store
 	inflight map[string]*call
 
+	pack    *tensor.PackCache
+	packSet bool
+
+	// statsMu makes multi-counter transitions atomic with respect to Stats
+	// snapshots: counter updates that must be observed together take the
+	// read side (shared, so the hot path never serialises on it), Stats
+	// takes the write side and therefore never observes a half-applied
+	// transition.
+	statsMu sync.RWMutex
+
 	submitted atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
@@ -71,6 +83,16 @@ func WithMemoryStore(s Store) Option { return func(f *Farm) { f.mem = s } }
 // every fresh result. The store is closed with the farm.
 func WithDiskStore(s Store) Option { return func(f *Farm) { f.disk = s } }
 
+// WithPackCache replaces the farm's shared content-keyed pack cache —
+// packed weight panels, kernel matrices and layout transposes reused
+// across jobs with identical operands. nil disables pack reuse entirely.
+// Pack reuse changes where derived bytes come from, never what they are:
+// results and cache keys are byte-identical with any setting, so the cache
+// (like Job.ExecWorkers and Job.Reference) does not participate in Key().
+func WithPackCache(pc *tensor.PackCache) Option {
+	return func(f *Farm) { f.pack, f.packSet = pc, true }
+}
+
 // call is one in-flight execution, shared by every waiter that submitted an
 // identical job while it was queued or running.
 type call struct {
@@ -96,7 +118,13 @@ func New(workers int, opts ...Option) *Farm {
 		opt(f)
 	}
 	if f.mem == nil {
-		f.mem = NewMemoryStore(f.maxEntries, f.maxBytes)
+		// The default memory tier is sharded by key prefix: per-shard LRU
+		// bounds sum to the configured totals, and the per-shard locks keep
+		// a many-worker sweep from serialising on one mutex.
+		f.mem = NewShardedStore(defaultStoreShards(f.maxEntries, f.maxBytes), f.maxEntries, f.maxBytes)
+	}
+	if !f.packSet {
+		f.pack = tensor.NewPackCache(tensor.DefaultPackCacheEntries, tensor.DefaultPackCacheBytes)
 	}
 	f.qcond = sync.NewCond(&f.qmu)
 	f.wg.Add(workers)
@@ -108,6 +136,10 @@ func New(workers int, opts ...Option) *Farm {
 
 // Workers returns the worker-pool size.
 func (f *Farm) Workers() int { return f.workers }
+
+// PackCache returns the farm's shared content-keyed pack cache (nil when
+// disabled with WithPackCache(nil)).
+func (f *Farm) PackCache() *tensor.PackCache { return f.pack }
 
 // entryLister is the optional Store capability Warm needs: streaming the
 // tier's entries in least-recently-used-first order, bounded to the newest
@@ -198,15 +230,19 @@ func (f *Farm) exec(c *call) {
 			f.cmu.Unlock()
 			res.Hit = true
 			c.res = res
+			f.statsMu.RLock()
 			f.hits.Add(1)
 			f.diskHits.Add(1)
 			f.pending.Add(-1)
+			f.statsMu.RUnlock()
 			close(c.done)
 			return
 		}
 	}
-	f.misses.Add(1)
-	c.res, c.err = Run(c.job)
+	f.count(&f.misses)
+	job := c.job
+	job.pack = f.pack // shared pack reuse; excluded from Key(), bit-identical results
+	c.res, c.err = Run(job)
 	f.cmu.Lock()
 	delete(f.inflight, c.key)
 	if c.err == nil {
@@ -214,14 +250,19 @@ func (f *Farm) exec(c *call) {
 	}
 	f.cmu.Unlock()
 	if c.err == nil {
-		f.completed.Add(1)
 		if f.disk != nil {
 			f.disk.Put(c.key, c.res)
 		}
+		f.statsMu.RLock()
+		f.completed.Add(1)
+		f.pending.Add(-1)
+		f.statsMu.RUnlock()
 	} else {
+		f.statsMu.RLock()
 		f.failed.Add(1)
+		f.pending.Add(-1)
+		f.statsMu.RUnlock()
 	}
-	f.pending.Add(-1)
 	close(c.done)
 }
 
@@ -261,22 +302,35 @@ func resolvedFuture(key string, res Result, err error) *Future {
 // resolve instantly; a job identical to one already queued or running
 // attaches to that execution instead of enqueueing a second one.
 func (f *Farm) Submit(j Job) *Future {
-	f.submitted.Add(1)
+	f.count(&f.submitted)
 	key, err := j.Key()
 	if err != nil {
-		f.failed.Add(1)
+		f.count(&f.failed)
 		return resolvedFuture("", Result{}, err)
 	}
+	// Fast path outside the farm-global mutex: the memory tier is
+	// internally locked (sharded by key prefix), so submissions hitting a
+	// warm cache never serialise on cmu — this is where the sharded
+	// store's contention relief is actually realised.
+	if res, ok := f.mem.Get(key); ok {
+		f.count(&f.hits)
+		res.Hit = true
+		return resolvedFuture(key, res, nil)
+	}
 	f.cmu.Lock()
+	// Re-check under the lock: exec publishes to the memory tier and
+	// removes the in-flight entry while holding cmu, so a completion that
+	// raced the optimistic miss above is visible in exactly one of the two
+	// checks here.
 	if res, ok := f.mem.Get(key); ok {
 		f.cmu.Unlock()
-		f.hits.Add(1)
+		f.count(&f.hits)
 		res.Hit = true
 		return resolvedFuture(key, res, nil)
 	}
 	if c, ok := f.inflight[key]; ok {
 		f.cmu.Unlock()
-		f.deduped.Add(1)
+		f.count(&f.deduped)
 		return &Future{c: c, key: key}
 	}
 	c := &call{job: j, key: key, done: make(chan struct{})}
@@ -289,14 +343,14 @@ func (f *Farm) Submit(j Job) *Future {
 		f.cmu.Lock()
 		delete(f.inflight, key)
 		f.cmu.Unlock()
-		f.failed.Add(1)
+		f.count(&f.failed)
 		// Complete the call rather than abandoning it: a concurrent
 		// identical Submit may already have attached to it as a waiter.
 		c.err = fmt.Errorf("farm: submit on closed farm")
 		close(c.done)
 		return &Future{c: c, key: key}
 	}
-	f.pending.Add(1)
+	f.count(&f.pending)
 	f.queue = append(f.queue, c)
 	f.qcond.Signal()
 	f.qmu.Unlock()
@@ -351,6 +405,9 @@ type Stats struct {
 	// bytes, corrupt entries dropped); Disk is nil without a disk tier.
 	Memory StoreStats  `json:"memory"`
 	Disk   *StoreStats `json:"disk,omitempty"`
+	// Pack counts the shared pack cache's derived-operand reuse (all zero
+	// when pack reuse is disabled).
+	Pack tensor.PackStats `json:"pack"`
 }
 
 // HitRate returns the fraction of submissions that avoided a fresh
@@ -362,9 +419,26 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits+s.Deduped) / float64(s.Submitted)
 }
 
-// Stats returns a consistent-enough snapshot of the counters.
+// count applies a single-counter increment inside a statsMu read-section,
+// so Stats — which takes the write side — always observes a consistent cut
+// of the counter history. Read-sections are shared: concurrent submissions
+// never serialise on it.
+func (f *Farm) count(c *atomic.Int64) {
+	f.statsMu.RLock()
+	c.Add(1)
+	f.statsMu.RUnlock()
+}
+
+// Stats returns a consistent snapshot of the counters: multi-counter
+// transitions (a job finishing decrements Pending and increments Completed,
+// a disk hit bumps Hits and DiskHits together) are never observed
+// half-applied, so invariants like
+// Hits + Deduped + Completed + Failed + Pending <= Submitted and
+// DiskHits <= Hits hold in every snapshot, under any concurrency.
 func (f *Farm) Stats() Stats {
 	mem := f.mem.Stats()
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
 	st := Stats{
 		Workers:      f.workers,
 		Submitted:    f.submitted.Load(),
@@ -382,5 +456,6 @@ func (f *Farm) Stats() Stats {
 		disk := f.disk.Stats()
 		st.Disk = &disk
 	}
+	st.Pack = f.pack.Stats()
 	return st
 }

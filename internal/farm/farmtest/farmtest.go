@@ -229,4 +229,41 @@ func AssertEquivalent(tb testing.TB, jobs []farm.Job) {
 	if st.Disk == nil || st.Disk.Hits != int64(len(jobs)) {
 		tb.Errorf("cold disk replay: disk tier stats did not record the hits: %+v", st.Disk)
 	}
+
+	// Path 5: pack-cache reuse and arena pooling (PR 5). One shared
+	// content-keyed cache, the jobs run twice inline — the first pass packs
+	// and publishes every derived operand form, the second reuses them —
+	// and once more with the tensor arenas bypassed. All three must match
+	// the fresh (uncached, pooled-default) results byte-for-byte, and the
+	// pack cache must never leak into the content-addressed job keys.
+	pc := tensor.NewPackCache(0, 0)
+	runPacked := func(context string) []farm.Result {
+		results := make([]farm.Result, len(jobs))
+		for i, j := range jobs {
+			res, err := farm.Run(j.WithPackCache(pc))
+			if err != nil {
+				tb.Fatalf("%s: job %d: %v", context, i, err)
+			}
+			results[i] = res
+		}
+		return results
+	}
+	AssertSameResults(tb, "pack-cache cold pass vs fresh", want, runPacked("pack-cache cold pass"))
+	AssertSameResults(tb, "pack-cache warm pass vs fresh", want, runPacked("pack-cache warm pass"))
+	if pst := pc.Stats(); pst.Puts == 0 {
+		tb.Errorf("pack cache was never populated across the job table: %+v", pst)
+	}
+	for i, j := range jobs {
+		plain, err1 := j.Key()
+		packed, err2 := j.WithPackCache(pc).Key()
+		if err1 != nil || err2 != nil || plain != packed {
+			tb.Errorf("job %d: pack cache leaked into the key: %q (err %v) vs %q (err %v)",
+				i, plain, err1, packed, err2)
+		}
+	}
+
+	prev := tensor.SetPooling(false)
+	defer tensor.SetPooling(prev) // restore even when RunFresh fails the test
+	unpooled := RunFresh(tb, jobs)
+	AssertSameResults(tb, "pooling-bypassed run vs pooled fresh", want, unpooled)
 }

@@ -99,6 +99,22 @@ type Job struct {
 	// with an Inf/NaN operand would make them NaN. Operands containing
 	// non-finite values are outside the farm's contract.
 	Reference bool
+
+	// pack is the shared content-keyed cache of derived operand forms the
+	// fused engines may reuse (packed weight panels, kernel matrices,
+	// layout transposes). The farm threads its own cache through here on
+	// execution; WithPackCache sets it for inline Run calls. Like
+	// ExecWorkers and Reference it cannot change results — only where
+	// derived bytes come from — so it does NOT participate in Key().
+	pack *tensor.PackCache
+}
+
+// WithPackCache returns a copy of the job that will reuse derived operand
+// forms from pc when executed inline with Run. Jobs submitted to a farm
+// ignore this and use the farm's shared cache instead.
+func (j Job) WithPackCache(pc *tensor.PackCache) Job {
+	j.pack = pc
+	return j
 }
 
 // Result is what one executed job reports.
@@ -145,7 +161,7 @@ func Run(j Job) (Result, error) {
 			st  stats.Stats
 			err error
 		)
-		opt := api.Options{Workers: j.ExecWorkers, Reference: j.Reference}
+		opt := api.Options{Workers: j.ExecWorkers, Reference: j.Reference, Pack: j.pack}
 		if j.Layout == tensor.NHWC {
 			out, st, err = api.Conv2DNHWCOpts(cfg, j.Input, j.Weights, d, j.ConvMapping, opt)
 		} else {
@@ -159,7 +175,7 @@ func Run(j Job) (Result, error) {
 		if j.Input == nil || j.Weights == nil {
 			return Result{}, fmt.Errorf("farm: dense job needs input and weight tensors")
 		}
-		out, st, err := api.DenseOpts(cfg, j.Input, j.Weights, j.FCMapping, api.Options{Reference: j.Reference})
+		out, st, err := api.DenseOpts(cfg, j.Input, j.Weights, j.FCMapping, api.Options{Reference: j.Reference, Pack: j.pack})
 		if err != nil {
 			return Result{}, err
 		}

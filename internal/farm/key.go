@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"hash"
-	"math"
 
 	"repro/internal/tensor"
 )
@@ -116,9 +115,8 @@ func (w keyWriter) tensor(t *tensor.Tensor) {
 	w.ints(shape...)
 	data := t.Data()
 	w.u64(uint64(len(data)))
-	buf := make([]byte, 4*len(data))
-	for i, v := range data {
-		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
-	}
-	w.h.Write(buf)
+	// Stream the elements through tensor's canonical chunked encoder: the
+	// hashed bytes are identical to a single contiguous conversion, without
+	// the per-submission allocation proportional to the operand size.
+	tensor.WriteFloatBits(w.h, data)
 }

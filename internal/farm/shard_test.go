@@ -1,0 +1,114 @@
+package farm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestShardedStoreBoundsSumToTotals pins the bound-distribution contract:
+// whatever the shard count, the per-shard entry and byte bounds sum exactly
+// to the configured totals.
+func TestShardedStoreBoundsSumToTotals(t *testing.T) {
+	for _, tc := range []struct {
+		shards, maxEntries int
+		maxBytes           int64
+	}{
+		{1, 10, 1000}, {3, 10, 1000}, {7, 100, 12345}, {16, 5, 3}, {4, 0, 0},
+	} {
+		s := NewShardedStore(tc.shards, tc.maxEntries, tc.maxBytes)
+		var entries int
+		var bytes int64
+		for _, sh := range s.shards {
+			entries += sh.maxEntries
+			bytes += sh.maxBytes
+		}
+		if tc.maxEntries > 0 && entries != tc.maxEntries {
+			t.Errorf("shards=%d: entry bounds sum to %d, want %d", tc.shards, entries, tc.maxEntries)
+		}
+		if tc.maxEntries <= 0 && entries != 0 {
+			t.Errorf("shards=%d: unbounded store got entry bounds %d", tc.shards, entries)
+		}
+		if tc.maxBytes > 0 && bytes != tc.maxBytes {
+			t.Errorf("shards=%d: byte bounds sum to %d, want %d", tc.shards, bytes, tc.maxBytes)
+		}
+		s.Close()
+	}
+}
+
+// TestShardedStoreBehavesLikeAStore checks the Store contract end to end:
+// round-trips, recency-refreshing hits, aggregate stats, and the total
+// entry bound holding under keys spread across shards.
+func TestShardedStoreBehavesLikeAStore(t *testing.T) {
+	s := NewShardedStore(4, 64, 0)
+	defer s.Close()
+	res := func(i int) Result { return fakeResult(i, 4) }
+	for i := 0; i < 200; i++ {
+		s.Put(fmt.Sprintf("%08x-key", i), res(i))
+	}
+	st := s.Stats()
+	if st.Entries > 64 {
+		t.Fatalf("sharded store exceeded its total bound: %+v", st)
+	}
+	if st.Evictions == 0 || st.Puts != 200 {
+		t.Fatalf("eviction accounting wrong: %+v", st)
+	}
+	// Whatever survived must round-trip intact.
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if got, ok := s.Get(fmt.Sprintf("%08x-key", i)); ok {
+			hits++
+			if got.Stats != res(i).Stats {
+				t.Fatalf("key %d round-tripped wrong stats", i)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("nothing survived in any shard")
+	}
+}
+
+// TestShardedStoreConcurrent hammers one store from many goroutines (run
+// under -race in CI): per-shard locking must keep puts, hits and evictions
+// coherent.
+func TestShardedStoreConcurrent(t *testing.T) {
+	s := NewShardedStore(8, 32, 0)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("%08x", (g*31+i)%64)
+				if i%3 == 0 {
+					s.Put(key, fakeResult(i, 4))
+				} else {
+					s.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Entries > 32 {
+		t.Fatalf("bound exceeded under concurrency: %+v", st)
+	}
+}
+
+// TestDefaultStoreShards pins the adaptive shard count: unbounded farms
+// shard by core count, tiny bounds collapse to one shard so per-shard LRU
+// slicing never degrades small caches.
+func TestDefaultStoreShards(t *testing.T) {
+	if got := defaultStoreShards(0, 0); got < 1 {
+		t.Fatalf("unbounded shard count = %d", got)
+	}
+	if got := defaultStoreShards(3, 0); got != 1 {
+		t.Fatalf("maxEntries=3 should collapse to 1 shard, got %d", got)
+	}
+	if got := defaultStoreShards(0, 1024); got != 1 {
+		t.Fatalf("maxBytes=1KiB should collapse to 1 shard, got %d", got)
+	}
+	if got := defaultStoreShards(1<<20, 1<<40); got < 1 {
+		t.Fatalf("large bounds shard count = %d", got)
+	}
+}

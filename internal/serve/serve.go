@@ -20,6 +20,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -294,11 +295,22 @@ func (s *Server) run(req JobRequest) JobResponse {
 
 func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
 
+// encBufPool recycles the JSON encode buffers: every response (and every
+// NDJSON result line) is encoded into a pooled buffer and written in one
+// call, so the steady-state encode path allocates no per-response buffers.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -366,6 +378,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		reqs = batch.Jobs
 	}
 
+	if ndjson {
+		s.streamBatch(w, reqs)
+		return
+	}
+
 	// Fan the sweep out, but bound the in-flight requests: the farm caps
 	// simulation concurrency, while this semaphore caps how many jobs have
 	// their operand tensors materialised at once — without it a huge sweep
@@ -382,16 +399,55 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i, req)
 	}
 	wg.Wait()
-
-	if ndjson {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		enc := json.NewEncoder(w)
-		for _, res := range results {
-			enc.Encode(res)
-		}
-		return
-	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Stats: s.farm.Stats()})
+}
+
+// streamBatch executes an NDJSON sweep with the same bounded fan-out as the
+// JSON path, but streams the response: each result line is encoded through
+// a pooled buffer, written as soon as it and all its predecessors are done
+// (lines stay in submission order — the NDJSON contract), and flushed
+// per-result, so a slow sweep delivers results as they complete instead of
+// buffering the whole batch.
+func (s *Server) streamBatch(w http.ResponseWriter, reqs []JobRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fl, _ := w.(http.Flusher)
+
+	results := make([]JobResponse, len(reqs))
+	done := make(chan int, len(reqs))
+	sem := make(chan struct{}, 2*s.farm.Workers())
+	go func() {
+		for i, req := range reqs {
+			sem <- struct{}{}
+			go func(i int, req JobRequest) {
+				defer func() { <-sem }()
+				results[i] = s.run(req)
+				done <- i
+			}(i, req)
+		}
+	}()
+
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	ready := make([]bool, len(reqs))
+	written := 0
+	for range reqs {
+		ready[<-done] = true
+		flushed := false
+		for written < len(results) && ready[written] {
+			buf.Reset()
+			if err := json.NewEncoder(buf).Encode(results[written]); err != nil {
+				// The response is already streaming; all we can do is emit
+				// an error line in place of the result.
+				fmt.Fprintf(buf, "{\"error\":%q}\n", err.Error())
+			}
+			w.Write(buf.Bytes())
+			written++
+			flushed = true
+		}
+		if flushed && fl != nil {
+			fl.Flush()
+		}
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

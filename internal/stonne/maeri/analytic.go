@@ -30,13 +30,25 @@ type axClass struct {
 	count int64
 }
 
+// axClassSet is the decomposition of one axis: at most an interior class
+// and a boundary remainder. A fixed-size value type keeps the analytic
+// engine allocation-free (it runs once per job on the steady-state path).
+type axClassSet struct {
+	cls [2]axClass
+	n   int
+}
+
+// all returns the populated classes.
+func (s *axClassSet) all() []axClass { return s.cls[:s.n] }
+
 // axClasses decomposes one axis of the loop nest into its size classes.
-func axClasses(dim, tile int) []axClass {
-	cls := []axClass{{size: tile, count: int64(dim / tile)}}
+func axClasses(dim, tile int) axClassSet {
+	s := axClassSet{cls: [2]axClass{{size: tile, count: int64(dim / tile)}}, n: 1}
 	if rem := dim % tile; rem > 0 {
-		cls = append(cls, axClass{size: rem, count: 1})
+		s.cls[1] = axClass{size: rem, count: 1}
+		s.n = 2
 	}
-	return cls
+	return s
 }
 
 // ceilDiv is the cycle cost of moving n elements over a bandwidth-bw link,
@@ -80,14 +92,14 @@ func (e *Engine) analyticConv(d tensor.ConvDims, m mapping.ConvMapping) stats.St
 	st.Multipliers = e.cfg.MSSize
 	var cycles, dnElems int64
 
-	for _, gc := range gCls {
-		for _, nc := range nCls {
-			for _, kc := range kCls {
+	for _, gc := range gCls.all() {
+		for _, nc := range nCls.all() {
+			for _, kc := range kCls.all() {
 				// Count of (g, n, k) weight blocks in this replication class.
 				cgnk := gc.count * nc.count * kc.count
-				for ci, cc := range cCls {
-					for ri, rc := range rCls {
-						for si, sc := range sCls {
+				for ci, cc := range cCls.all() {
+					for ri, rc := range rCls.all() {
+						for si, sc := range sCls.all() {
 							redTiles := cgnk * cc.count * rc.count * sc.count
 							vn := rc.size * sc.size * cc.size
 							weights := int64(vn * kc.size * gc.size)
@@ -104,8 +116,8 @@ func (e *Engine) analyticConv(d tensor.ConvDims, m mapping.ConvMapping) stats.St
 							}
 							restTiles := redTiles - firstTiles
 
-							for _, xc := range xCls {
-								for _, yc := range yCls {
+							for _, xc := range xCls.all() {
+								for _, yc := range yCls.all() {
 									stepsPer := xc.count * yc.count
 									nv := int64(kc.size * gc.size * nc.size * xc.size * yc.size)
 									rows := uniqueSpan(xc.size, rc.size, d.StrideH)
@@ -172,10 +184,10 @@ func (e *Engine) analyticDense(batches, inN, outN int, m mapping.FCMapping) stat
 	st.Multipliers = e.cfg.MSSize
 	var cycles, dnElems int64
 
-	for _, sc := range sCls {
-		for _, nc := range nCls {
+	for _, sc := range sCls.all() {
+		for _, nc := range nCls.all() {
 			csn := sc.count * nc.count
-			for ki, kc := range kCls {
+			for ki, kc := range kCls.all() {
 				kTiles := csn * kc.count
 				// The first K tile of every (s, n) block is the interior
 				// class (redIdx == 1): one firstRed tile per block.

@@ -1,6 +1,8 @@
 package maeri
 
 import (
+	"sync"
+
 	"repro/internal/stonne/mapping"
 	"repro/internal/tensor"
 )
@@ -33,12 +35,29 @@ type redTile struct {
 	c0, tc, r0, tr, s0, ts int
 }
 
+// convScratch is the reusable working state of one fusedConv call,
+// recycled through a pool so the steady-state fused path allocates nothing:
+// tile tables, tap lists, gather buffers and the per-tile panel tracking.
+type convScratch struct {
+	tiles     []redTile
+	taps      []convTap
+	ivs       []float32
+	kofs      []int
+	panels    [][]float32
+	panelSigs [][2]int
+	// sharedPanels records that panels currently reference cache-owned
+	// (immutable) slices; the next cacheless call must drop them instead of
+	// overwriting them in place.
+	sharedPanels bool
+}
+
+var convScratchPool = sync.Pool{New: func() any { return &convScratch{} }}
+
 // convRedTiles enumerates the reduction tiles in the step loop's visit
-// order: c0 outermost, then r0, then s0.
-func convRedTiles(d tensor.ConvDims, m mapping.ConvMapping) []redTile {
+// order: c0 outermost, then r0, then s0, appending into tiles (reused
+// scratch).
+func convRedTiles(d tensor.ConvDims, m mapping.ConvMapping, tiles []redTile) []redTile {
 	cg := d.C / d.G
-	tiles := make([]redTile, 0,
-		((cg+m.TC-1)/m.TC)*((d.R+m.TR-1)/m.TR)*((d.S+m.TS-1)/m.TS))
 	for c0 := 0; c0 < cg; c0 += m.TC {
 		tc := eff(c0, m.TC, cg)
 		for r0 := 0; r0 < d.R; r0 += m.TR {
@@ -83,29 +102,67 @@ type convTap struct {
 //   - boundary columns: taps are gathered per column with bounds checks and
 //     zero-activation skips, and a pure-Go eight-accumulator kernel walks
 //     the kernel rows in place.
-func fusedConv(in, kernel *tensor.Tensor, d tensor.ConvDims, m mapping.ConvMapping) *tensor.Tensor {
+func fusedConv(in, kernel *tensor.Tensor, d tensor.ConvDims, m mapping.ConvMapping, pc *tensor.PackCache) *tensor.Tensor {
 	p, q := d.P(), d.Q()
 	cg, kg := d.C/d.G, d.K/d.G
-	out := tensor.New(d.N, p, q, d.K)
+	out := tensor.NewPooled(d.N, p, q, d.K)
 	inD, kerD, outD := in.Data(), kernel.Data(), out.Data()
-	tiles := convRedTiles(d, m)
 
-	taps := make([]convTap, 0, m.TC*m.TR*m.TS)
-	var ivs []float32 // per-position gathered activations, tap order
-	var kofs []int    // matching kernel row offsets
-	// Per-tile kernel panels, cached until the tile's valid-R window (or
+	scratch := convScratchPool.Get().(*convScratch)
+	defer convScratchPool.Put(scratch)
+	tiles := convRedTiles(d, m, scratch.tiles[:0])
+	scratch.tiles = tiles
+
+	taps := scratch.taps[:0]
+	ivs := scratch.ivs   // per-position gathered activations, tap order
+	kofs := scratch.kofs // matching kernel row offsets
+	// Per-tile kernel panels, tracked until the tile's valid-R window (or
 	// group) changes — (first kerOff, tap count) determines both. Interior
-	// output rows therefore repack nothing; together the panels hold at
-	// most one reordered copy of one group's kernel.
-	panels := make([][]float32, len(tiles))
-	panelSigs := make([][2]int, len(tiles))
+	// output rows therefore repack nothing; together the panel pointers
+	// reference at most one reordered copy of one group's kernel. With a
+	// PackCache the panels themselves are content-keyed and shared across
+	// calls: a sweep job whose weights (and tile decomposition) match an
+	// earlier job's reuses its packed panels instead of rebuilding them.
+	if cap(scratch.panels) < len(tiles) {
+		scratch.panels = make([][]float32, len(tiles))
+		scratch.panelSigs = make([][2]int, len(tiles))
+	}
+	if scratch.sharedPanels || pc != nil {
+		// Cache-owned slices are immutable; they must never be reused as
+		// packing scratch (and scratch capacity is useless to a cache-fed
+		// call). Clear the whole backing slice — a shorter call must not
+		// leave shared slices hiding past its own tile count.
+		for i := range scratch.panels {
+			scratch.panels[i] = nil
+		}
+	}
+	scratch.sharedPanels = pc != nil
+	panels := scratch.panels[:len(tiles)]
+	panelSigs := scratch.panelSigs[:len(tiles)]
 	for i := range panelSigs {
 		panelSigs[i] = [2]int{-1, -1}
 	}
 	nblocks := kg / 8
 	wC := d.W * d.C
+	kerHash := [32]byte{}
+	if pc != nil {
+		kerHash = kernel.ContentHash()
+	}
 	for g := 0; g < d.G; g++ {
 		kBase := g * kg
+		var baseHash [32]byte
+		if pc != nil {
+			// The panel bytes are a pure function of the kernel contents,
+			// the tile decomposition (geometry + reduction tiling), the
+			// group's K base and the per-group K extent kg (which sets the
+			// panel's K-block count — two group counts can share identical
+			// kernel bytes but need different panel lengths); sig (first
+			// kernel offset, tap count) pins the valid-R window within a
+			// tile. Everything not carried in the per-tile key parameters
+			// folds into the hash here.
+			baseHash = tensor.CombineHash(kerHash,
+				d.R, d.S, cg, d.K, kg, kBase, m.TC, m.TR, m.TS)
+		}
 		for n := 0; n < d.N; n++ {
 			nIn := n * d.H * wC
 			for x := 0; x < p; x++ {
@@ -155,20 +212,32 @@ func fusedConv(in, kernel *tensor.Tensor, d tensor.ConvDims, m mapping.ConvMappi
 
 					var panel []float32
 					if nblocks > 0 && yLo < yHi {
-						// Pack (or reuse) the tile's kernel panel.
+						// Pack (or reuse) the tile's kernel panel. With a
+						// PackCache the panel is looked up content-keyed and
+						// published immutably on a miss, so identical-weight
+						// jobs share one packed copy; without one it is
+						// per-call scratch, overwritten in place.
 						sig := [2]int{taps[0].kerOff, nt}
 						if panelSigs[ti] != sig {
 							need := nblocks * nt * 8
-							panel = panels[ti]
-							if cap(panel) < need {
-								panel = make([]float32, need)
-							}
-							panel = panel[:need:need]
-							for kb := 0; kb < nblocks; kb++ {
-								row := panel[kb*nt*8:]
-								for t2, tp := range taps {
-									copy(row[t2*8:t2*8+8], kerD[tp.kerOff+kb*8:tp.kerOff+kb*8+8])
+							if pc != nil {
+								key := tensor.PackKey{Op: "maeri/conv-panel/v1",
+									Hash: baseHash, P: [6]int{ti, sig[0], sig[1]}}
+								if ct, ok := pc.Get(key); ok {
+									panel = ct.Data()
+								} else {
+									ct := tensor.New(need)
+									panel = ct.Data()
+									packConvPanel(panel, kerD, taps, nblocks, nt)
+									pc.Put(key, ct)
 								}
+							} else {
+								panel = panels[ti]
+								if cap(panel) < need {
+									panel = make([]float32, need)
+								}
+								panel = panel[:need:need]
+								packConvPanel(panel, kerD, taps, nblocks, nt)
 							}
 							panels[ti] = panel
 							panelSigs[ti] = sig
@@ -206,7 +275,21 @@ func fusedConv(in, kernel *tensor.Tensor, d tensor.ConvDims, m mapping.ConvMappi
 			}
 		}
 	}
+	// Hand the grown working slices back to the pooled scratch so the next
+	// call starts at full capacity.
+	scratch.taps, scratch.ivs, scratch.kofs = taps, ivs, kofs
 	return out
+}
+
+// packConvPanel fills panel (nblocks·nt·8 values, [K-block][tap][8] layout)
+// with the tap kernel rows of one reduction tile.
+func packConvPanel(panel []float32, kerD []float32, taps []convTap, nblocks, nt int) {
+	for kb := 0; kb < nblocks; kb++ {
+		row := panel[kb*nt*8:]
+		for t2, tp := range taps {
+			copy(row[t2*8:t2*8+8], kerD[tp.kerOff+kb*8:tp.kerOff+kb*8+8])
+		}
+	}
 }
 
 // boundaryY handles the output columns whose window leaves the input: taps
@@ -310,7 +393,7 @@ func boundaryY(y0, y1 int, d tensor.ConvDims, taps []convTap, ivs []float32, kof
 func fusedDense(in, weights *tensor.Tensor, m mapping.FCMapping) *tensor.Tensor {
 	batches, inN := in.Dim(0), in.Dim(1)
 	outN := weights.Dim(0)
-	out := tensor.New(batches, outN)
+	out := tensor.NewPooled(batches, outN)
 	inD, wD, outD := in.Data(), weights.Data(), out.Data()
 
 	for n := 0; n < batches; n++ {

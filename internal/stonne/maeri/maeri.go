@@ -53,6 +53,13 @@ type Engine struct {
 	// derivation; production paths leave it false.
 	Reference bool
 
+	// Pack, when set, shares packed kernel panels across engines through a
+	// content-keyed cache: fused convolutions whose weights and tile
+	// decomposition match a previous run's reuse its panels instead of
+	// repacking them. Outputs are bitwise identical with or without it, so
+	// it never participates in result cache keys.
+	Pack *tensor.PackCache
+
 	// Fabrics are created lazily on the first full-accuracy call and reset
 	// (counters zeroed) on each subsequent call, avoiding the per-call
 	// allocation churn tuner loops used to pay. The analytical dry-run path
@@ -147,7 +154,7 @@ func (e *Engine) Conv2D(in, kernel *tensor.Tensor, d tensor.ConvDims, m mapping.
 		if e.DryRun {
 			return nil, st, nil
 		}
-		return fusedConv(in, kernel, d, m), st, nil
+		return fusedConv(in, kernel, d, m, e.Pack), st, nil
 	}
 	dn, rn, ab, err := e.fabrics()
 	if err != nil {

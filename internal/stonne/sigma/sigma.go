@@ -45,6 +45,11 @@ type Engine struct {
 	// fast path and to reproduce its derivation.
 	Reference bool
 
+	// Pack, when set, lets the fused GEMM route reuse content-keyed packed
+	// operand panels across engines. Outputs are bitwise identical with or
+	// without it.
+	Pack *tensor.PackCache
+
 	dn *fabric.DistributionNetwork
 	rn *fabric.ReductionNetwork
 	ab *fabric.AccumulationBuffer
@@ -155,7 +160,7 @@ func (e *Engine) GEMM(stationary, streaming *tensor.Tensor) (*tensor.Tensor, sta
 		if err != nil || e.DryRun {
 			return nil, st, err
 		}
-		return tensor.GEMM(stationary, streaming), st, nil
+		return tensor.GEMMCached(stationary, streaming, e.Pack), st, nil
 	}
 	dn, rn, ab, err := e.fabrics()
 	if err != nil {
@@ -368,9 +373,21 @@ func (e *Engine) Dense(in, weights *tensor.Tensor) (*tensor.Tensor, stats.Stats,
 		st, err := e.GEMMStats(weights, in.Dim(0))
 		return nil, st, err
 	}
-	prod, st, err := e.GEMM(weights, in.Transpose(1, 0)) // [S, M]
+	var inT *tensor.Tensor
+	if e.Reference {
+		// The reference chunk loop keeps a private copy to stay conservative.
+		inT = in.Transpose(1, 0)
+	} else {
+		// The fused route never mutates operands, so the transposed input
+		// can be shared content-keyed across the jobs of a sweep (the same
+		// activation is typically submitted under many mappings/configs).
+		inT = tensor.Transpose2DCached(in, e.Pack)
+	}
+	prod, st, err := e.GEMM(weights, inT) // [S, M]
 	if err != nil {
 		return nil, stats.Stats{}, err
 	}
-	return prod.Transpose(1, 0), st, nil
+	out := prod.Transpose(1, 0)
+	prod.Release() // transient [S, M] intermediate, pooled on the fused route
+	return out, st, nil
 }

@@ -73,6 +73,26 @@ func (s *Simulator) SetReference(on bool) *Simulator {
 	return s
 }
 
+// SetPackCache shares a content-keyed pack cache with the simulator's
+// engine: packed weight panels, kernel matrices and layout transposes are
+// then reused across simulator instances that hold the same operands —
+// the allocation-free steady state of a sweep over fixed network weights.
+// Counters and output bytes are bitwise identical with or without a cache
+// (the pack reuse changes where packed bytes come from, never what they
+// are), so the cache, like Reference, never participates in result cache
+// keys. It returns s for chaining.
+func (s *Simulator) SetPackCache(pc *tensor.PackCache) *Simulator {
+	switch {
+	case s.maeriEng != nil:
+		s.maeriEng.Pack = pc
+	case s.sigmaEng != nil:
+		s.sigmaEng.Pack = pc
+	case s.tpuEng != nil:
+		s.tpuEng.Pack = pc
+	}
+	return s
+}
+
 // SupportsDirectConv reports whether the architecture executes convolutions
 // natively. SIGMA and the TPU only support GEMM, so the API layer lowers
 // their convolutions via im2col (§V-B-2/3).

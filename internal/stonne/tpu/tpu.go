@@ -41,6 +41,12 @@ type Engine struct {
 	// path and to reproduce its derivation.
 	Reference bool
 
+	// Pack, when set, shares content-keyed derived operands across engines:
+	// the dense lowering's transposed weight matrix and the fused GEMM's
+	// packed B-panels are built once per distinct operand instead of once
+	// per job. Outputs are bitwise identical with or without it.
+	Pack *tensor.PackCache
+
 	mesh *fabric.SystolicMesh
 }
 
@@ -79,7 +85,7 @@ func (e *Engine) GEMM(a, b *tensor.Tensor) (*tensor.Tensor, stats.Stats, error) 
 		if err != nil || e.DryRun {
 			return nil, st, err
 		}
-		return tensor.GEMM(a, b), st, nil
+		return tensor.GEMMCached(a, b, e.Pack), st, nil
 	}
 	rows, cols := e.cfg.MSRows, e.cfg.MSCols
 	if e.mesh == nil || e.mesh.Rows != rows || e.mesh.Cols != cols {
@@ -205,5 +211,14 @@ func (e *Engine) Dense(in, weights *tensor.Tensor) (*tensor.Tensor, stats.Stats,
 	if in.Dim(1) != weights.Dim(1) {
 		return nil, stats.Stats{}, fmt.Errorf("tpu: dense reduction mismatch: input %v vs weights %v", in.Shape(), weights.Shape())
 	}
-	return e.GEMM(in, weights.Transpose(1, 0))
+	var wt *tensor.Tensor
+	if e.Reference {
+		// The reference mesh keeps a private copy to stay conservative.
+		wt = weights.Transpose(1, 0)
+	} else {
+		// The fused route never mutates operands, so the transposed weight
+		// matrix can be shared content-keyed across jobs.
+		wt = tensor.Transpose2DCached(weights, e.Pack)
+	}
+	return e.GEMM(in, wt)
 }

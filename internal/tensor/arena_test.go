@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// TestNewPooledZeroed proves a recycled tensor indistinguishable from a
+// fresh one: dirty released storage must come back zeroed, with the right
+// shape, and with no stale memoized content hash.
+func TestNewPooledZeroed(t *testing.T) {
+	a := NewPooled(3, 4)
+	for i := range a.Data() {
+		a.Data()[i] = float32(i + 1)
+	}
+	dirtyHash := a.ContentHash()
+	a.Release()
+
+	b := NewPooled(2, 5) // same bucket, different shape
+	if !ShapeEq(b.Shape(), []int{2, 5}) {
+		t.Fatalf("recycled tensor shape = %v", b.Shape())
+	}
+	for i, v := range b.Data() {
+		if v != 0 {
+			t.Fatalf("recycled tensor not zeroed at %d: %v", i, v)
+		}
+	}
+	if b.ContentHash() == dirtyHash {
+		t.Fatal("recycled tensor kept the previous contents' hash")
+	}
+	zero := New(2, 5)
+	if b.ContentHash() != zero.ContentHash() {
+		t.Fatal("pooled zero tensor hashes differently from a fresh zero tensor")
+	}
+}
+
+// TestReleaseIgnoresUnpooled pins the safety property that keeps the arena
+// sound: tensors not minted by NewPooled — plain New, FromData wrappers,
+// Reshape views — must never enter the pools, where their aliased storage
+// could be handed out twice.
+func TestReleaseIgnoresUnpooled(t *testing.T) {
+	plain := New(4, 4)
+	plain.Release() // must be a no-op, not a panic
+
+	backing := make([]float32, 16)
+	FromData(backing, 4, 4).Release()
+
+	p := NewPooled(4, 4)
+	view := p.Reshape(16)
+	view.Release() // view is not pooled; only p itself may be released
+	p.Release()
+
+	var nilT *Tensor
+	nilT.Release()
+}
+
+// TestSetPooling proves the bypass knob: with pooling off, released storage
+// must not be reused.
+func TestSetPooling(t *testing.T) {
+	prev := SetPooling(false)
+	defer SetPooling(prev)
+	if PoolingEnabled() {
+		t.Fatal("SetPooling(false) left pooling enabled")
+	}
+	a := NewPooled(8)
+	a.Data()[0] = 42
+	a.Release()
+	b := NewPooled(8)
+	if b.Data()[0] != 0 {
+		t.Fatal("bypassed arena reused storage")
+	}
+}
+
+// TestScratchArena pins the raw scratch contract: requested length, shared
+// recycling, and no panic on foreign slices.
+func TestScratchArena(t *testing.T) {
+	s := GetScratch(100)
+	if len(s) != 100 {
+		t.Fatalf("GetScratch(100) returned len %d", len(s))
+	}
+	PutScratch(s)
+	PutScratch(make([]float32, 33)) // odd capacity: silently dropped
+	if got := GetScratch(0); len(got) != 0 {
+		t.Fatalf("GetScratch(0) returned len %d", len(got))
+	}
+}
+
+// TestFusedPathsPoolingEquivalence runs the fused GEMM kernels with the
+// arena bypassed and enabled and requires bitwise-equal outputs — pooling
+// must be semantically invisible.
+func TestFusedPathsPoolingEquivalence(t *testing.T) {
+	a := RandomUniform(3, 1, 40, 80)
+	b := RandomUniform(4, 1, 80, 50)
+	want := GEMM(a, b)
+
+	prev := SetPooling(false)
+	bypass := GEMMCached(a, b, nil)
+	SetPooling(true)
+	pooled1 := GEMMCached(a, b, nil)
+	pooled1.Release()
+	pooled2 := GEMMCached(a, b, nil) // reuses pooled1's dirty storage
+	SetPooling(prev)
+
+	for name, got := range map[string]*Tensor{"bypassed": bypass, "pooled": pooled2} {
+		if i := FirstBitDiff(want, got); i != -1 {
+			t.Fatalf("%s GEMM differs from reference at element %d", name, i)
+		}
+	}
+}

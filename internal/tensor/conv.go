@@ -19,6 +19,14 @@ import (
 // enough arithmetic per panel to amortise the fill.
 const im2colBlockCols = 256
 
+// colCoord is one output position resolved to its batch and top-left input
+// coordinates, the per-column state Im2ColBlock sweeps.
+type colCoord struct{ n, iy0, ix0 int }
+
+// coordPool recycles Im2ColBlock's per-panel coordinate scratch so the
+// steady-state implicit-GEMM path allocates nothing per block.
+var coordPool = sync.Pool{New: func() any { s := make([]colCoord, 0, im2colBlockCols); return &s }}
+
 // Im2ColBlock fills dst with the columns [col0, col0+width) of the im2col
 // matrix Im2Col(in, d, g) — rows × width, row-major, rows = C/G·R·S. The
 // column index enumerates output positions in (N, P, Q) order, exactly as
@@ -35,8 +43,12 @@ func Im2ColBlock(in *Tensor, d ConvDims, g, col0, width int, dst []float32) {
 	}
 	// Decompose each column into its (batch, output-row, output-col)
 	// coordinates once, then sweep the kernel-window rows.
-	type colCoord struct{ n, iy0, ix0 int }
-	coords := make([]colCoord, width)
+	cp := coordPool.Get().(*[]colCoord)
+	defer coordPool.Put(cp)
+	if cap(*cp) < width {
+		*cp = make([]colCoord, width)
+	}
+	coords := (*cp)[:width]
 	for j := 0; j < width; j++ {
 		col := col0 + j
 		n := col / (p * q)
@@ -83,6 +95,27 @@ func Im2ColBlock(in *Tensor, d ConvDims, g, col0, width int, dst []float32) {
 // bitwise identical to GEMM(KernelMatrix(kernel, d, g), Im2Col(in, d, g))
 // regardless of the worker count.
 func ConvGEMMImplicit(in, kernel *Tensor, d ConvDims, workers int) *Tensor {
+	return ConvGEMMImplicitCached(in, kernel, d, workers, nil)
+}
+
+// KernelMatrixCached returns KernelMatrix(kernel, d, g), serving the
+// flattened matrix from the content-keyed pack cache when one is supplied:
+// sweep jobs sharing weights flatten each group's kernel once. The result
+// is shared and must be treated as read-only.
+func KernelMatrixCached(kernel *Tensor, d ConvDims, g int, cache *PackCache) *Tensor {
+	if cache == nil {
+		return KernelMatrix(kernel, d, g)
+	}
+	key := PackKey{Op: "conv/kernelmatrix/v1", Hash: kernel.ContentHash(),
+		P: [6]int{g, d.K, d.C, d.R, d.S, d.G}}
+	return cache.GetOrBuild(key, func() *Tensor { return KernelMatrix(kernel, d, g) })
+}
+
+// ConvGEMMImplicitCached is ConvGEMMImplicit with a content-keyed pack
+// cache for the per-group kernel matrices, and pooled panel / accumulator
+// scratch either way. A nil cache only changes where the kernel matrix
+// comes from, never the arithmetic: outputs are bitwise identical.
+func ConvGEMMImplicitCached(in, kernel *Tensor, d ConvDims, workers int, cache *PackCache) *Tensor {
 	if err := d.Resolve(); err != nil {
 		panic(err)
 	}
@@ -94,12 +127,12 @@ func ConvGEMMImplicit(in, kernel *Tensor, d ConvDims, workers int) *Tensor {
 	rows := cg * d.R * d.S
 	cols := d.N * p * q
 	pq := p * q
-	out := New(d.N, d.K, p, q)
+	out := NewPooled(d.N, d.K, p, q)
 	outD := out.Data()
 
 	nBlocks := (cols + im2colBlockCols - 1) / im2colBlockCols
 	for g := 0; g < d.G; g++ {
-		km := KernelMatrix(kernel, d, g) // kg × rows, weight-stationary
+		km := KernelMatrixCached(kernel, d, g, cache) // kg × rows, weight-stationary
 		kmD := km.Data()
 		kgBase := g * kg
 		// Dense kernels take the packed register-blocked micro-kernel;
@@ -153,11 +186,13 @@ func ConvGEMMImplicit(in, kernel *Tensor, d ConvDims, workers int) *Tensor {
 
 		nw := min(workers, nBlocks)
 		if nw <= 1 {
-			panel := make([]float32, rows*im2colBlockCols)
-			acc := make([]float32, kg*im2colBlockCols)
+			panel := getScratch(rows * im2colBlockCols)
+			acc := getScratch(kg * im2colBlockCols)
 			for b := 0; b < nBlocks; b++ {
 				run(panel, acc, b)
 			}
+			putScratch(acc)
+			putScratch(panel)
 			continue
 		}
 		var next atomic.Int64
@@ -166,11 +201,13 @@ func ConvGEMMImplicit(in, kernel *Tensor, d ConvDims, workers int) *Tensor {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				panel := make([]float32, rows*im2colBlockCols)
-				acc := make([]float32, kg*im2colBlockCols)
+				panel := getScratch(rows * im2colBlockCols)
+				acc := getScratch(kg * im2colBlockCols)
 				for {
 					b := int(next.Add(1)) - 1
 					if b >= nBlocks {
+						putScratch(acc)
+						putScratch(panel)
 						return
 					}
 					run(panel, acc, b)

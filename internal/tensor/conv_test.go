@@ -149,6 +149,7 @@ func BenchmarkGEMMVariants(b *testing.B) {
 		{"GEMMParallel", func() *Tensor { return GEMMParallel(a, bb, 64, 0) }},
 	} {
 		b.Run(fmt.Sprintf("%s/256", bench.name), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				bench.f()
 			}

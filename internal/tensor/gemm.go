@@ -22,6 +22,25 @@ func GEMM(a, b *Tensor) *Tensor {
 	return out
 }
 
+// GEMMCached is GEMM with a content-keyed pack cache: when the dense packed
+// route runs, B's micro-panels are looked up in (or published to) cache
+// instead of repacked, so repeated multiplies against the same operand —
+// sweep jobs sharing network weights — pack it exactly once. A nil cache,
+// and every route decision, leaves the arithmetic identical to GEMM's; the
+// result is bitwise equal in all cases. The output tensor comes from the
+// pooled arena (indistinguishable from a fresh one; callers that finish
+// with it may Release it).
+func GEMMCached(a, b *Tensor, cache *PackCache) *Tensor {
+	m, k, n := gemmDims(a, b)
+	out := NewPooled(m, n)
+	if cache == nil || !packedWorthIt(m, k, n) || sparseWorthSkipping(a.data) {
+		gemmAuto(a.data, b.data, out.data, m, k, n, 0)
+		return out
+	}
+	gemmPackedCached(a.data, b, out.data, k, n, 0, m, cache)
+	return out
+}
+
 // gemmDims validates a GEMM operand pair and returns (M, K, N).
 func gemmDims(a, b *Tensor) (int, int, int) {
 	if a.Rank() != 2 || b.Rank() != 2 {

@@ -70,6 +70,66 @@ func (t *Tensor) Transpose(perm ...int) *Tensor {
 	return out
 }
 
+// Transpose2DCached returns t.Transpose(1, 0) for a 2-D tensor, served
+// from the content-keyed pack cache when one is supplied — e.g. the TPU
+// dense lowering transposing the same weight matrix once per sweep instead
+// of once per job. The cached tensor is shared and must be treated as
+// read-only.
+func Transpose2DCached(t *Tensor, cache *PackCache) *Tensor {
+	if cache == nil {
+		return t.Transpose(1, 0)
+	}
+	key := PackKey{Op: "tensor/transpose10/v1", Hash: t.ContentHash(),
+		P: [6]int{t.Dim(0), t.Dim(1)}}
+	return cache.GetOrBuild(key, func() *Tensor { return t.Transpose(1, 0) })
+}
+
+// KCRSToRSCKCached returns KCRSToRSCK(t), served from the content-keyed
+// pack cache when one is supplied (the MAERI NCHW lowering converts the
+// same kernel once per sweep instead of once per job). Shared, read-only.
+func KCRSToRSCKCached(t *Tensor, cache *PackCache) *Tensor {
+	if cache == nil {
+		return KCRSToRSCK(t)
+	}
+	key := PackKey{Op: "tensor/kcrs2rsck/v1", Hash: t.ContentHash(),
+		P: [6]int{t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)}}
+	return cache.GetOrBuild(key, func() *Tensor { return KCRSToRSCK(t) })
+}
+
+// RSCKToKCRSCached returns RSCKToKCRS(t), content-cached like
+// KCRSToRSCKCached. Shared, read-only.
+func RSCKToKCRSCached(t *Tensor, cache *PackCache) *Tensor {
+	if cache == nil {
+		return RSCKToKCRS(t)
+	}
+	key := PackKey{Op: "tensor/rsck2kcrs/v1", Hash: t.ContentHash(),
+		P: [6]int{t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)}}
+	return cache.GetOrBuild(key, func() *Tensor { return RSCKToKCRS(t) })
+}
+
+// NCHWToNHWCCached returns NCHWToNHWC(t), content-cached like the kernel
+// conversions: a mapping sweep converts each layer input once per sweep
+// pass instead of once per job. Shared, read-only.
+func NCHWToNHWCCached(t *Tensor, cache *PackCache) *Tensor {
+	if cache == nil {
+		return NCHWToNHWC(t)
+	}
+	key := PackKey{Op: "tensor/nchw2nhwc/v1", Hash: t.ContentHash(),
+		P: [6]int{t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)}}
+	return cache.GetOrBuild(key, func() *Tensor { return NCHWToNHWC(t) })
+}
+
+// NHWCToNCHWCached returns NHWCToNCHW(t), content-cached like
+// NCHWToNHWCCached. Shared, read-only.
+func NHWCToNCHWCached(t *Tensor, cache *PackCache) *Tensor {
+	if cache == nil {
+		return NHWCToNCHW(t)
+	}
+	key := PackKey{Op: "tensor/nhwc2nchw/v1", Hash: t.ContentHash(),
+		P: [6]int{t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)}}
+	return cache.GetOrBuild(key, func() *Tensor { return NHWCToNCHW(t) })
+}
+
 // NCHWToNHWC converts an activation tensor from NCHW to NHWC.
 func NCHWToNHWC(t *Tensor) *Tensor { return t.Transpose(0, 2, 3, 1) }
 

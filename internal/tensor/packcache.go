@@ -1,0 +1,193 @@
+package tensor
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// PackCache memoizes derived, immutable forms of operand tensors — packed
+// GEMM B-panels, MAERI's per-tile [K-block][tap][8] kernel panels, layout
+// transposes, kernel matrices — keyed by the source operand's content hash
+// plus the parameters the derivation depends on. Simulation sweeps submit
+// many jobs over the same network weights; with a shared PackCache those
+// jobs pack each weight panel once instead of once per job, which is the
+// BLIS-style separation of packing from compute amortised across jobs
+// instead of within one GEMM.
+//
+// Cached values are immutable by contract: producers hand the cache a
+// fully built tensor and never write to it again, and consumers only read.
+// Correctness never depends on hitting — every user falls back to building
+// the form locally on a miss — so the cache is bounded (entries and bytes,
+// LRU eviction) and safe to share between any number of goroutines.
+type PackCache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[PackKey]*list.Element
+	bytes int64
+	stats PackStats
+}
+
+// PackKey identifies one derived form: the operation that derives it
+// (versioned, so incompatible layout changes never alias), the source
+// operand's content hash, and the integer parameters the derivation depends
+// on. Two keys are equal exactly when the derived bytes are equal, which is
+// what makes sharing safe.
+type PackKey struct {
+	// Op names and versions the derived form, e.g. "gemm/packB/v1".
+	Op string
+	// Hash is the source operand's ContentHash, optionally folded with
+	// extra geometry via CombineHash when P cannot carry it all.
+	Hash [32]byte
+	// P carries the op-specific blocking / geometry parameters.
+	P [6]int
+}
+
+// PackStats is a snapshot of the cache's counters.
+type PackStats struct {
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+}
+
+// packEntry is one cached derived form plus its accounting.
+type packEntry struct {
+	key  PackKey
+	t    *Tensor
+	size int64
+}
+
+// DefaultPackCacheEntries and DefaultPackCacheBytes bound a farm's default
+// shared cache: enough for the working set of a large sweep (hundreds of
+// distinct weight tensors times a handful of derived forms each) while
+// keeping the resident overhead well under typical result-cache budgets.
+const (
+	DefaultPackCacheEntries = 4096
+	DefaultPackCacheBytes   = 256 << 20
+)
+
+// NewPackCache returns a bounded content-keyed pack cache. maxEntries <= 0
+// and maxBytes <= 0 each disable that bound.
+func NewPackCache(maxEntries int, maxBytes int64) *PackCache {
+	return &PackCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[PackKey]*list.Element),
+	}
+}
+
+// Get returns the cached derived form under k, refreshing its recency. The
+// returned tensor is shared and must be treated as read-only.
+func (c *PackCache) Get(k PackKey) (*Tensor, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*packEntry).t, true
+}
+
+// Put stores a fully built derived form under k and evicts from the cold
+// end until the bounds hold. The tensor must never be mutated afterwards.
+func (c *PackCache) Put(k PackKey, t *Tensor) {
+	if c == nil || t == nil {
+		return
+	}
+	size := int64(len(t.Data()))*4 + 64
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Puts++
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*packEntry)
+		c.bytes += size - e.size
+		e.t, e.size = t, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&packEntry{key: k, t: t, size: size})
+		c.bytes += size
+	}
+	for c.overBounds() {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*packEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.bytes -= e.size
+		c.stats.Evictions++
+	}
+}
+
+// GetOrBuild returns the derived form under k, building and publishing it
+// on a miss. Concurrent builders of the same key may race; all of them
+// build identical bytes (the key pins the derivation), so whichever Put
+// lands last wins harmlessly.
+func (c *PackCache) GetOrBuild(k PackKey, build func() *Tensor) *Tensor {
+	if c == nil {
+		return build()
+	}
+	if t, ok := c.Get(k); ok {
+		return t
+	}
+	t := build()
+	c.Put(k, t)
+	return t
+}
+
+func (c *PackCache) overBounds() bool {
+	if c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes
+}
+
+// Stats returns a snapshot of the cache's counters. Safe on a nil cache
+// (all zeros), so callers can report stats without tracking enablement.
+func (c *PackCache) Stats() PackStats {
+	if c == nil {
+		return PackStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = int64(c.ll.Len())
+	st.Bytes = c.bytes
+	return st
+}
+
+// CombineHash folds extra integers into a content hash, yielding the key
+// hash for derived forms that depend on more geometry than PackKey.P can
+// carry (e.g. a conv's full dimension/mapping tuple). It is
+// allocation-free for up to 28 integers.
+func CombineHash(h [32]byte, vs ...int) [32]byte {
+	var buf [256]byte
+	copy(buf[:32], h[:])
+	n := 32
+	for _, v := range vs {
+		if n+8 > len(buf) {
+			// Overflow: chain into a fresh hash and keep folding.
+			h = sha256.Sum256(buf[:n])
+			copy(buf[:32], h[:])
+			n = 32
+		}
+		binary.LittleEndian.PutUint64(buf[n:], uint64(int64(v)))
+		n += 8
+	}
+	return sha256.Sum256(buf[:n])
+}

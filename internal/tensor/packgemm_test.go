@@ -90,16 +90,19 @@ func BenchmarkGEMMKernels(b *testing.B) {
 	x := RandomUniform(1, 1, s, s)
 	y := RandomUniform(2, 1, s, s)
 	b.Run("reference_ikj", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			refGEMM(x, y)
 		}
 	})
 	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			GEMM(x, y)
 		}
 	})
 	b.Run("packed_blocked", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			GEMMBlocked(x, y, 0)
 		}

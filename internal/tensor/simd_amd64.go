@@ -11,6 +11,17 @@ var hasAVX = cpuHasAVX()
 // XGETBV). Implemented in simd_amd64.s.
 func cpuHasAVX() bool
 
+// SIMDLevel names the vector kernel tier this process runs: "AVX" when the
+// assembly micro-kernels are active, "scalar" when the bit-identical
+// pure-Go fallbacks run instead. Services log it at startup so performance
+// reports can be matched to the kernel tier that produced them.
+func SIMDLevel() string {
+	if hasAVX {
+		return "AVX"
+	}
+	return "scalar"
+}
+
 // dot8CarryAsm is the AVX packed-GEMM inner kernel; see simd_amd64.s.
 func dot8CarryAsm(k int, a, b, c *float32)
 

@@ -7,5 +7,9 @@ package tensor
 
 var hasAVX = false
 
+// SIMDLevel names the vector kernel tier this process runs; non-amd64
+// builds are always on the scalar fallbacks.
+func SIMDLevel() string { return "scalar" }
+
 func dot8Carry(k int, a, b, c []float32)                 { dot8CarryGo(k, a, b, c) }
 func panelDot8(nv, nblocks int, a, panel, dst []float32) { panelDot8Go(nv, nblocks, a, panel, dst) }

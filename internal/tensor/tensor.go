@@ -9,15 +9,27 @@
 package tensor
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"strings"
+	"sync/atomic"
 )
 
 // Tensor is a dense row-major float32 tensor.
 type Tensor struct {
 	shape []int
 	data  []float32
+
+	// pooled marks tensors minted by NewPooled, the only ones Release may
+	// recycle (views and plain New tensors must never re-enter the arena).
+	pooled bool
+
+	// chash memoizes ContentHash. It is reset when the arena recycles the
+	// tensor; mutation-after-hash is excluded by ContentHash's contract.
+	chash atomic.Pointer[[32]byte]
 }
 
 // New returns a zero-initialised tensor with the given shape.
@@ -66,6 +78,49 @@ func (t *Tensor) Clone() *Tensor {
 	c := New(t.shape...)
 	copy(c.data, t.data)
 	return c
+}
+
+// ContentHash returns the SHA-256 of the tensor's element values (their
+// little-endian float32 bit patterns, in row-major order), memoized on
+// first use. It is the identity the content-keyed PackCache hangs derived
+// operand forms on — two tensors with equal contents share every cached
+// pack regardless of which object carries them. Shape is deliberately NOT
+// hashed: cache keys add the geometry they depend on explicitly, and a
+// reshaped view shares its storage's content identity.
+//
+// The memoisation makes immutability part of the contract: once a tensor
+// has been content-hashed it must not be mutated (the simulation farm
+// already imposes exactly this on job operands). Hashing a tensor that is
+// later written produces stale keys and, through the cache, wrong packs.
+func (t *Tensor) ContentHash() [32]byte {
+	if p := t.chash.Load(); p != nil {
+		return *p
+	}
+	h := sha256.New()
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(t.data)))
+	h.Write(lenBuf[:])
+	WriteFloatBits(h, t.data)
+	var sum [32]byte
+	h.Sum(sum[:0])
+	t.chash.Store(&sum)
+	return sum
+}
+
+// WriteFloatBits streams data's little-endian float32 bit patterns into w
+// through a fixed stack buffer — the canonical element encoding shared by
+// ContentHash and the farm's content-addressed job keys, without an
+// allocation proportional to len(data). Errors from w are ignored; the
+// intended writers are hashes, which never fail.
+func WriteFloatBits(w io.Writer, data []float32) {
+	var buf [4096]byte
+	for off := 0; off < len(data); off += len(buf) / 4 {
+		chunk := data[off:min(off+len(buf)/4, len(data))]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		w.Write(buf[:4*len(chunk)])
+	}
 }
 
 // Reshape returns a tensor sharing storage with t but with a new shape.

@@ -1,0 +1,7 @@
+//go:build race
+
+package bifrost
+
+// raceEnabled mirrors the race detector's presence for tests whose
+// accounting (allocation counts) the detector inflates.
+const raceEnabled = true
