@@ -11,9 +11,11 @@ package bifrost
 import (
 	"testing"
 
+	"repro/internal/farm"
 	"repro/internal/stonne/config"
 	"repro/internal/stonne/maeri"
 	"repro/internal/stonne/mapping"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -110,5 +112,79 @@ func TestAnalyticDryRunAllocFree(t *testing.T) {
 	})
 	if allocs > 0.5 {
 		t.Fatalf("analytic dry run allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestTelemetryRecordAllocFree pins the telemetry record path (PR 6) to
+// zero allocations: counters, gauges, sharded histograms and a full pooled
+// span begin→observe→end cycle. These run on every job and every request,
+// so a single allocation here would undo the allocation-free steady state
+// the tests above protect.
+func TestTelemetryRecordAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is inflated under -race")
+	}
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("alloc_test_total", "test")
+	g := reg.Gauge("alloc_test_gauge", "test")
+	h := reg.Histogram("alloc_test_seconds", "test", nil)
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(1.5)
+		h.Observe(3e-4)
+	}); allocs > 0 {
+		t.Fatalf("metric record path allocates %.1f/op, want 0", allocs)
+	}
+	ph := telemetry.NewPhaseHistograms(reg, "alloc_test_phase_seconds", "test")
+	if allocs := testing.AllocsPerRun(100, func() {
+		sp := telemetry.BeginSpan()
+		sp.Observe(telemetry.PhaseCompute, 250*1e3) // 250µs in ns
+		ph.ObserveSpan(sp)
+		telemetry.EndSpan(sp)
+	}); allocs > 0 {
+		t.Fatalf("span lifecycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestTracedFarmSteadyStateAllocFree pins what tracing adds to the farm's
+// warm hit path: the path itself pays for key hashing and the future, but
+// span accounting and phase observations must add nothing, and a traced
+// hit may add only the single echoed Trace object.
+func TestTracedFarmSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is inflated under -race")
+	}
+	d := tensor.ConvDims{N: 1, C: 4, H: 10, W: 10, K: 8, R: 3, S: 3}
+	job := farm.Job{
+		HW: config.Default(config.MAERIDenseWorkload), Kind: farm.Conv2D, DryRun: true, Dims: d,
+		ConvMapping: mapping.ConvMapping{TR: 3, TS: 3, TC: 1, TK: 2, TG: 1, TN: 1, TX: 1, TY: 1},
+	}
+	f := NewFarm(1)
+	defer f.Close()
+	if _, err := f.Do(job); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: the pre-existing warm hit path (key encode + hash, future,
+	// hit counters). Tracing must not change it when off, and a traced hit
+	// may add only the one Trace allocation on top.
+	plain := steadyStateAllocs(func() {
+		if _, err := f.Do(job); err != nil {
+			t.Fatal(err)
+		}
+	})
+	traced := job
+	traced.Trace = true
+	withTrace := steadyStateAllocs(func() {
+		res, err := f.Do(traced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == nil {
+			t.Fatal("traced warm hit returned no trace")
+		}
+	})
+	if withTrace > plain+1.5 {
+		t.Fatalf("traced warm hit allocates %.1f/op vs %.1f untraced — tracing must add at most the Trace object", withTrace, plain)
 	}
 }

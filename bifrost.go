@@ -29,6 +29,7 @@ import (
 	"repro/internal/stonne/magma"
 	"repro/internal/stonne/mapping"
 	"repro/internal/stonne/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -151,6 +152,24 @@ func NewPackCache(maxEntries int, maxBytes int64) *PackCache {
 // FarmPackCache replaces the farm's default shared pack cache — e.g. one
 // cache shared by several farms, or nil to disable pack reuse.
 func FarmPackCache(pc *PackCache) FarmOption { return farm.WithPackCache(pc) }
+
+// Trace is one job's lifecycle trace: where its wall-clock time went
+// (enqueue wait, dedup, cache lookups, compute, persist) and which tier
+// answered it. Request one per submission with Job.Trace, or attach a
+// TraceRing to keep the most recent ones. Tracing is observation only —
+// results and cache keys are byte-identical with it on or off.
+type Trace = telemetry.Trace
+
+// TraceRing is a bounded, concurrency-safe ring of recent job traces (the
+// payload of bifrost-serve's /debug/traces endpoint).
+type TraceRing = telemetry.TraceRing
+
+// NewTraceRing returns a ring retaining the last n traces.
+func NewTraceRing(n int) *TraceRing { return telemetry.NewTraceRing(n) }
+
+// FarmTraceRing attaches a trace ring to the farm: every executed job's
+// lifecycle trace is recorded into it, newest first.
+func FarmTraceRing(r *TraceRing) FarmOption { return farm.WithTraceRing(r) }
 
 // NewFarm returns a running simulation farm; workers <= 0 selects
 // GOMAXPROCS.

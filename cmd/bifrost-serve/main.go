@@ -33,20 +33,32 @@
 //	curl -s localhost:8087/batch -H 'Content-Type: application/x-ndjson' \
 //	  --data-binary @sweep.ndjson
 //
-//	# scheduler + cache metrics
+//	# scheduler + cache metrics + telemetry rollups
 //	curl -s localhost:8087/stats
+//
+//	# Prometheus scrape endpoint (also mounted on the -pprof side port)
+//	curl -s localhost:8087/metrics
+//
+//	# build / toolchain / SIMD / configured bounds
+//	curl -s localhost:8087/version
+//
+//	# recent per-job lifecycle traces, newest first
+//	curl -s localhost:8087/debug/traces
 package main
 
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
+	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/farm"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -62,23 +74,32 @@ func main() {
 		diskMax    = flag.Int64("cache-disk-max-bytes", 0, "disk cache byte bound, LRU-evicted (0 = unbounded)")
 		warm       = flag.Bool("cache-warm", false, "preload the disk cache's entries into the in-memory LRU at startup (requires -cache-dir)")
 		execW      = flag.Int("exec-workers", 0, "default per-job arithmetic workers for GEMM-lowered convs (0/1 = serial, <0 = GOMAXPROCS); responses are byte-identical either way")
-		pprofAddr  = flag.String("pprof", "", "side-port listen address for net/http/pprof, e.g. localhost:6060 (empty = disabled)")
+		pprofAddr  = flag.String("pprof", "", "side-port listen address for net/http/pprof and /metrics, e.g. localhost:6060 (empty = disabled)")
+		traceAll   = flag.Bool("trace", false, "echo a per-job lifecycle trace in every response (same as \"trace\": true on each request)")
+		slowJob    = flag.Duration("slow-job", 0, "log a warning with the full lifecycle trace for jobs slower than this, e.g. 250ms (0 = disabled)")
+		traceRing  = flag.Int("traces", 256, "recent lifecycle traces retained for GET /debug/traces (0 = disabled)")
+		logJSON    = flag.Bool("log-json", false, "emit structured request logs as JSON instead of text")
+		logLevel   = flag.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
-	log.Printf("simd: %s kernels", tensor.SIMDLevel())
-	if *pprofAddr != "" {
-		go func() {
-			// The pprof import registers its handlers on the default mux;
-			// serving it on a side port keeps profiling off the public API.
-			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", *logLevel, err)
 	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
+
+	log.Printf("simd: %s kernels", tensor.SIMDLevel())
 
 	opts := []farm.Option{farm.WithMaxEntries(*maxEntries), farm.WithMaxBytes(*maxBytes)}
+	if *traceRing > 0 {
+		opts = append(opts, farm.WithTraceRing(telemetry.NewTraceRing(*traceRing)))
+	}
 	if *cacheDir != "" {
 		ds, err := farm.NewDiskStore(*cacheDir, *diskMax)
 		if err != nil {
@@ -97,9 +118,27 @@ func main() {
 		n := fm.Warm()
 		log.Printf("warmed %d cached results into memory", n)
 	}
+	api := serve.NewServer(fm,
+		serve.WithExecWorkers(*execW),
+		serve.WithLogger(logger),
+		serve.WithTraceAll(*traceAll),
+		serve.WithSlowJobThreshold(*slowJob),
+	)
+	if *pprofAddr != "" {
+		// The pprof import registers its handlers on the default mux;
+		// mounting /metrics beside them gives operators one private side
+		// port for both profiling and scraping, off the public API.
+		http.DefaultServeMux.Handle("GET /metrics", api.MetricsHandler())
+		go func() {
+			log.Printf("pprof + metrics on http://%s/debug/pprof/ and /metrics", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewServer(fm, serve.WithExecWorkers(*execW)),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("serving on %s with %d workers", *addr, fm.Workers())

@@ -10,13 +10,51 @@ package api
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/stonne"
 	"repro/internal/stonne/config"
 	"repro/internal/stonne/mapping"
 	"repro/internal/stonne/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
+
+// computeSeconds is the per-controller compute-time histogram family: the
+// wall-clock cost of one layer execution through this API boundary
+// (simulator configuration, lowering and arithmetic included), labelled by
+// the short controller name. Observation is lock-free and allocation-free,
+// so it is always on; the /metrics endpoint exposes the family and /stats
+// serves its rollups via ComputeSummaries.
+var computeSeconds = map[config.ControllerType]*telemetry.Histogram{
+	config.MAERIDenseWorkload: newComputeHistogram("maeri"),
+	config.SIGMASparseGEMM:    newComputeHistogram("sigma"),
+	config.TPUOSDense:         newComputeHistogram("tpu"),
+}
+
+func newComputeHistogram(controller string) *telemetry.Histogram {
+	return telemetry.Default().Histogram("bifrost_compute_seconds",
+		"Layer execution wall-clock time per controller (lowering + simulation).",
+		nil, telemetry.Label{Name: "controller", Value: controller})
+}
+
+// observeCompute records one layer execution's duration for cfg's
+// controller. Unknown controllers (impossible after Validate) are dropped.
+func observeCompute(cfg config.HWConfig, start time.Time) {
+	if h, ok := computeSeconds[cfg.Controller]; ok {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// ComputeSummaries returns the per-controller compute-time rollups keyed by
+// short controller name, for the serve layer's /stats endpoint.
+func ComputeSummaries() map[string]telemetry.HistogramSummary {
+	out := make(map[string]telemetry.HistogramSummary, len(computeSeconds))
+	out["maeri"] = computeSeconds[config.MAERIDenseWorkload].Summary()
+	out["sigma"] = computeSeconds[config.SIGMASparseGEMM].Summary()
+	out["tpu"] = computeSeconds[config.TPUOSDense].Summary()
+	return out
+}
 
 // ConvParams is the Nvidia-taxonomy description of a convolution
 // (Table II). It is an alias of the tensor package's geometry type, re-named
@@ -90,6 +128,7 @@ func Conv2DNCHWOpts(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams
 	if err := d.Resolve(); err != nil {
 		return nil, stats.Stats{}, err
 	}
+	defer observeCompute(cfg, time.Now())
 	sim, err := stonne.New(cfg) // a new STONNE instance per layer (§V step 3)
 	if err != nil {
 		return nil, stats.Stats{}, err
@@ -202,6 +241,7 @@ func Conv2DNHWCOpts(cfg config.HWConfig, in, kernel *tensor.Tensor, d ConvParams
 	if err := d.Resolve(); err != nil {
 		return nil, stats.Stats{}, err
 	}
+	defer observeCompute(cfg, time.Now())
 	sim, err := stonne.New(cfg)
 	if err != nil {
 		return nil, stats.Stats{}, err
@@ -234,6 +274,7 @@ func Dense(cfg config.HWConfig, in, weights *tensor.Tensor, m mapping.FCMapping)
 
 // DenseOpts is Dense with full execution options.
 func DenseOpts(cfg config.HWConfig, in, weights *tensor.Tensor, m mapping.FCMapping, opt Options) (*tensor.Tensor, stats.Stats, error) {
+	defer observeCompute(cfg, time.Now())
 	sim, err := stonne.New(cfg)
 	if err != nil {
 		return nil, stats.Stats{}, err

@@ -135,3 +135,31 @@ func TestLayerRecordString(t *testing.T) {
 		}
 	}
 }
+
+// TestComputeSummariesRecorded checks that a layer execution through the
+// API boundary lands in its controller's compute-time histogram and that
+// every controller appears in the rollup map.
+func TestComputeSummariesRecorded(t *testing.T) {
+	before := ComputeSummaries()["maeri"].Count
+	d := tensor.ConvDims{N: 1, C: 2, H: 6, W: 6, K: 2, R: 3, S: 3}
+	if err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandomUniform(1, 1, 1, 2, 6, 6)
+	w := tensor.RandomUniform(2, 1, 2, 2, 3, 3)
+	if _, _, err := Conv2DNCHW(config.Default(config.MAERIDenseWorkload), in, w, d, mapping.Basic()); err != nil {
+		t.Fatal(err)
+	}
+	sums := ComputeSummaries()
+	for _, c := range []string{"maeri", "sigma", "tpu"} {
+		if _, ok := sums[c]; !ok {
+			t.Errorf("controller %q missing from compute summaries", c)
+		}
+	}
+	if sums["maeri"].Count != before+1 {
+		t.Errorf("maeri compute count = %d, want %d", sums["maeri"].Count, before+1)
+	}
+	if sums["maeri"].SumMS <= 0 {
+		t.Errorf("maeri compute sum = %v ms, want > 0", sums["maeri"].SumMS)
+	}
+}

@@ -32,8 +32,9 @@ const (
 	codecVersion = 1
 )
 
-// encodeResult serialises a Result (Stats and output tensor; the Hit and Key
-// fields are transport state owned by the farm and are not persisted).
+// encodeResult serialises a Result (Stats and output tensor; the Hit, Key
+// and Trace fields are transport state owned by the farm and are not
+// persisted).
 func encodeResult(res Result) []byte {
 	payloadLen := 10 * 8 // stats counters + multipliers
 	payloadLen++         // hasOut flag

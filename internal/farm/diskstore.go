@@ -99,6 +99,9 @@ func NewDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
 // Dir returns the versioned directory entries are stored in.
 func (ds *DiskStore) Dir() string { return ds.dir }
 
+// MaxBytes returns the store's configured byte bound (0 = unbounded).
+func (ds *DiskStore) MaxBytes() int64 { return ds.maxBytes }
+
 const tmpPrefix = ".tmp-"
 
 // validKey reports whether key is a farm cache key (64 lowercase hex

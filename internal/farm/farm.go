@@ -5,9 +5,25 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
+
+// phaseSeconds is the process-wide per-phase latency histogram family every
+// farm rolls its job spans into: one histogram per lifecycle phase
+// (enqueue wait, single-flight dedup, memory lookup, disk lookup, compute,
+// persist), registered on the default telemetry registry so the /metrics
+// endpoint exposes them. Observation is lock-free and allocation-free, so
+// it is always on.
+var phaseSeconds = telemetry.NewPhaseHistograms(telemetry.Default(),
+	"bifrost_farm_phase_seconds",
+	"Per-phase job lifecycle latency through the simulation farm.")
+
+// PhaseSummaries returns the process-wide per-phase latency rollups keyed
+// by phase name, for the serve layer's /stats endpoint.
+func PhaseSummaries() map[string]telemetry.HistogramSummary { return phaseSeconds.Summaries() }
 
 // Farm is the concurrent simulation farm: a fixed pool of workers draining
 // a FIFO job queue, fronted by a content-addressed two-tier result cache
@@ -44,6 +60,13 @@ type Farm struct {
 
 	pack    *tensor.PackCache
 	packSet bool
+
+	// ring, when set, receives the lifecycle trace of every job a worker
+	// executes (and of traced cache hits) for the /debug/traces endpoint.
+	ring *telemetry.TraceRing
+
+	// busy counts workers currently inside exec — the utilisation gauge.
+	busy atomic.Int64
 
 	// statsMu makes multi-counter transitions atomic with respect to Stats
 	// snapshots: counter updates that must be observed together take the
@@ -93,6 +116,16 @@ func WithPackCache(pc *tensor.PackCache) Option {
 	return func(f *Farm) { f.pack, f.packSet = pc, true }
 }
 
+// WithTraceRing attaches a bounded ring of recent job traces: every job a
+// worker executes (disk hit, fresh compute or failure) records its
+// lifecycle trace there, as do cache-hit submissions that explicitly asked
+// for tracing (Job.Trace). Memory hits without the flag stay traceless so
+// the warm steady state allocates nothing. nil (the default) disables
+// trace retention; per-phase histograms are recorded either way.
+func WithTraceRing(r *telemetry.TraceRing) Option {
+	return func(f *Farm) { f.ring = r }
+}
+
 // call is one in-flight execution, shared by every waiter that submitted an
 // identical job while it was queued or running.
 type call struct {
@@ -101,6 +134,18 @@ type call struct {
 	done chan struct{}
 	res  Result
 	err  error
+
+	// span accumulates the job's per-phase timings from submission until
+	// the worker finishes it; pooled, so the always-on tracing machinery
+	// adds no steady-state allocations.
+	span *telemetry.Span
+	// enqueuedAt stamps the queue append; the dequeuing worker turns it
+	// into the enqueue-wait phase.
+	enqueuedAt time.Time
+	// traced records whether any submission of this call asked for a
+	// trace in the result; deduped waiters set it concurrently with the
+	// executing worker reading it at finish, hence atomic.
+	traced atomic.Bool
 }
 
 // New returns a running farm with the given number of workers; workers <= 0
@@ -140,6 +185,9 @@ func (f *Farm) Workers() int { return f.workers }
 // PackCache returns the farm's shared content-keyed pack cache (nil when
 // disabled with WithPackCache(nil)).
 func (f *Farm) PackCache() *tensor.PackCache { return f.pack }
+
+// Ring returns the farm's recent-trace ring (nil unless WithTraceRing).
+func (f *Farm) Ring() *telemetry.TraceRing { return f.ring }
 
 // entryLister is the optional Store capability Warm needs: streaming the
 // tier's entries in least-recently-used-first order, bounded to the newest
@@ -222,14 +270,23 @@ func (f *Farm) worker() {
 // executions. Because exec runs once per key (single flight), the disk
 // probe is deduplicated exactly like the execution it replaces.
 func (f *Farm) exec(c *call) {
+	f.busy.Add(1)
+	defer f.busy.Add(-1)
+	c.span.Observe(telemetry.PhaseEnqueueWait, time.Since(c.enqueuedAt))
 	if f.disk != nil {
-		if res, ok := f.disk.Get(c.key); ok {
+		t := time.Now()
+		res, ok := f.disk.Get(c.key)
+		c.span.Observe(telemetry.PhaseDiskLookup, time.Since(t))
+		if ok {
+			t = time.Now()
 			f.cmu.Lock()
 			delete(f.inflight, c.key)
 			f.mem.Put(c.key, res)
 			f.cmu.Unlock()
+			c.span.Observe(telemetry.PhasePersist, time.Since(t))
 			res.Hit = true
 			c.res = res
+			f.finishSpan(c, "disk")
 			f.statsMu.RLock()
 			f.hits.Add(1)
 			f.diskHits.Add(1)
@@ -242,7 +299,10 @@ func (f *Farm) exec(c *call) {
 	f.count(&f.misses)
 	job := c.job
 	job.pack = f.pack // shared pack reuse; excluded from Key(), bit-identical results
+	t := time.Now()
 	c.res, c.err = Run(job)
+	c.span.Observe(telemetry.PhaseCompute, time.Since(t))
+	t = time.Now()
 	f.cmu.Lock()
 	delete(f.inflight, c.key)
 	if c.err == nil {
@@ -253,17 +313,35 @@ func (f *Farm) exec(c *call) {
 		if f.disk != nil {
 			f.disk.Put(c.key, c.res)
 		}
+		c.span.Observe(telemetry.PhasePersist, time.Since(t))
+		f.finishSpan(c, "compute")
 		f.statsMu.RLock()
 		f.completed.Add(1)
 		f.pending.Add(-1)
 		f.statsMu.RUnlock()
 	} else {
+		f.finishSpan(c, "error")
 		f.statsMu.RLock()
 		f.failed.Add(1)
 		f.pending.Add(-1)
 		f.statsMu.RUnlock()
 	}
 	close(c.done)
+}
+
+// finishSpan rolls the call's span into the per-phase histograms, echoes a
+// trace when anyone asked for one (the job's Trace flag, a deduped traced
+// waiter, or the farm's trace ring) and returns the span to its pool. Must
+// run before the call's done channel closes so waiters observe the trace.
+func (f *Farm) finishSpan(c *call, source string) {
+	phaseSeconds.ObserveSpan(c.span)
+	if f.ring != nil || c.traced.Load() {
+		tr := c.span.Take(c.key, source)
+		c.res.Trace = tr
+		f.ring.Add(tr)
+	}
+	telemetry.EndSpan(c.span)
+	c.span = nil
 }
 
 // Future is a handle to a submitted job. Wait blocks until the result is
@@ -298,6 +376,27 @@ func resolvedFuture(key string, res Result, err error) *Future {
 	return &Future{key: key, res: res, err: err}
 }
 
+// memHit resolves a submission served by the memory tier: the hit counter,
+// the memory-lookup phase histogram, and — only when the job asked for a
+// trace — a materialised Trace echoed in the result and recorded in the
+// ring. Untraced warm hits allocate nothing beyond the Future itself.
+func (f *Farm) memHit(j Job, key string, res Result, start time.Time, lookup time.Duration) *Future {
+	f.count(&f.hits)
+	phaseSeconds.Observe(telemetry.PhaseMemLookup, lookup)
+	res.Hit = true
+	if j.Trace {
+		tr := &telemetry.Trace{
+			Key:         key,
+			Source:      "memory",
+			MemLookupMS: telemetry.MS(lookup),
+			TotalMS:     telemetry.MS(time.Since(start)),
+		}
+		res.Trace = tr
+		f.ring.Add(tr)
+	}
+	return resolvedFuture(key, res, nil)
+}
+
 // Submit enqueues a job and returns immediately with a Future. Cache hits
 // resolve instantly; a job identical to one already queued or running
 // attaches to that execution instead of enqueueing a second one.
@@ -308,15 +407,16 @@ func (f *Farm) Submit(j Job) *Future {
 		f.count(&f.failed)
 		return resolvedFuture("", Result{}, err)
 	}
+	start := time.Now()
 	// Fast path outside the farm-global mutex: the memory tier is
 	// internally locked (sharded by key prefix), so submissions hitting a
 	// warm cache never serialise on cmu — this is where the sharded
 	// store's contention relief is actually realised.
 	if res, ok := f.mem.Get(key); ok {
-		f.count(&f.hits)
-		res.Hit = true
-		return resolvedFuture(key, res, nil)
+		return f.memHit(j, key, res, start, time.Since(start))
 	}
+	memLookup := time.Since(start)
+	dedupStart := time.Now()
 	f.cmu.Lock()
 	// Re-check under the lock: exec publishes to the memory tier and
 	// removes the in-flight entry while holding cmu, so a completion that
@@ -324,18 +424,26 @@ func (f *Farm) Submit(j Job) *Future {
 	// checks here.
 	if res, ok := f.mem.Get(key); ok {
 		f.cmu.Unlock()
-		f.count(&f.hits)
-		res.Hit = true
-		return resolvedFuture(key, res, nil)
+		return f.memHit(j, key, res, start, memLookup)
 	}
 	if c, ok := f.inflight[key]; ok {
 		f.cmu.Unlock()
 		f.count(&f.deduped)
+		// The dedup phase of an attaching submission is its single-flight
+		// bookkeeping cost; the shared execution's phases are recorded by
+		// the call it attached to.
+		phaseSeconds.Observe(telemetry.PhaseDedup, time.Since(dedupStart))
+		if j.Trace {
+			c.traced.Store(true)
+		}
 		return &Future{c: c, key: key}
 	}
-	c := &call{job: j, key: key, done: make(chan struct{})}
+	c := &call{job: j, key: key, done: make(chan struct{}), span: telemetry.BeginSpan()}
+	c.span.Observe(telemetry.PhaseMemLookup, memLookup)
+	c.traced.Store(j.Trace)
 	f.inflight[key] = c
 	f.cmu.Unlock()
+	c.span.Observe(telemetry.PhaseDedup, time.Since(dedupStart))
 
 	f.qmu.Lock()
 	if f.closed {
@@ -344,6 +452,8 @@ func (f *Farm) Submit(j Job) *Future {
 		delete(f.inflight, key)
 		f.cmu.Unlock()
 		f.count(&f.failed)
+		telemetry.EndSpan(c.span)
+		c.span = nil
 		// Complete the call rather than abandoning it: a concurrent
 		// identical Submit may already have attached to it as a waiter.
 		c.err = fmt.Errorf("farm: submit on closed farm")
@@ -351,6 +461,7 @@ func (f *Farm) Submit(j Job) *Future {
 		return &Future{c: c, key: key}
 	}
 	f.count(&f.pending)
+	c.enqueuedAt = time.Now()
 	f.queue = append(f.queue, c)
 	f.qcond.Signal()
 	f.qmu.Unlock()
@@ -399,6 +510,11 @@ type Stats struct {
 	Deduped  int64 `json:"deduped"`
 	// Pending is the number of jobs currently queued or running.
 	Pending int64 `json:"pending"`
+	// BusyWorkers is how many workers are executing a job right now, and
+	// Queued how many jobs are waiting for a worker — the scheduler's
+	// utilisation and queue-depth gauges.
+	BusyWorkers int64 `json:"busy_workers"`
+	Queued      int64 `json:"queued"`
 	// CacheEntries is the number of distinct results held in memory.
 	CacheEntries int `json:"cache_entries"`
 	// Memory and Disk are the per-tier cache counters (hits, evictions,
@@ -437,6 +553,9 @@ func (f *Farm) count(c *atomic.Int64) {
 // DiskHits <= Hits hold in every snapshot, under any concurrency.
 func (f *Farm) Stats() Stats {
 	mem := f.mem.Stats()
+	f.qmu.Lock()
+	queued := int64(len(f.queue))
+	f.qmu.Unlock()
 	f.statsMu.Lock()
 	defer f.statsMu.Unlock()
 	st := Stats{
@@ -449,6 +568,8 @@ func (f *Farm) Stats() Stats {
 		Misses:       f.misses.Load(),
 		Deduped:      f.deduped.Load(),
 		Pending:      f.pending.Load(),
+		BusyWorkers:  f.busy.Load(),
+		Queued:       queued,
 		CacheEntries: int(mem.Entries),
 		Memory:       mem,
 	}
@@ -458,4 +579,40 @@ func (f *Farm) Stats() Stats {
 	}
 	st.Pack = f.pack.Stats()
 	return st
+}
+
+// Limits describes the farm's configured capacity bounds — the /version
+// endpoint's "how is this server configured" answer.
+type Limits struct {
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// MemMaxEntries and MemMaxBytes bound the in-memory result tier
+	// (0 = unbounded).
+	MemMaxEntries int   `json:"mem_max_entries"`
+	MemMaxBytes   int64 `json:"mem_max_bytes"`
+	// Disk reports whether a persistent tier is attached; DiskMaxBytes is
+	// its byte bound (0 = unbounded) and DiskDir its directory, when the
+	// tier can report them.
+	Disk         bool   `json:"disk"`
+	DiskMaxBytes int64  `json:"disk_max_bytes,omitempty"`
+	DiskDir      string `json:"disk_dir,omitempty"`
+}
+
+// Limits returns the farm's configured bounds.
+func (f *Farm) Limits() Limits {
+	l := Limits{
+		Workers:       f.workers,
+		MemMaxEntries: f.maxEntries,
+		MemMaxBytes:   f.maxBytes,
+	}
+	if f.disk != nil {
+		l.Disk = true
+		if mb, ok := f.disk.(interface{ MaxBytes() int64 }); ok {
+			l.DiskMaxBytes = mb.MaxBytes()
+		}
+		if d, ok := f.disk.(interface{ Dir() string }); ok {
+			l.DiskDir = d.Dir()
+		}
+	}
+	return l
 }

@@ -1,11 +1,13 @@
 // Package farmtest is the differential test harness for the simulation
 // farm's result path: it runs one deterministic table of Conv2D and Dense
-// jobs three ways — fresh inline execution, a warm in-memory cache, and a
-// warm disk cache replayed by a cold farm after Close — and asserts the
+// jobs several ways — fresh inline execution, a warm in-memory cache, a
+// warm disk cache replayed by a cold farm after Close, pack-cache and
+// pooling-bypassed reruns, and a fully traced pass — and asserts the
 // results are byte-identical everywhere. The farm, serve and core test
 // suites all reuse it, so any drift between the execution path and either
-// cache tier (a lossy codec, a stale format, a broken promotion) fails in
-// three places at once.
+// cache tier (a lossy codec, a stale format, a broken promotion), or any
+// observability feature that leaks into results or keys, fails in three
+// places at once.
 package farmtest
 
 import (
@@ -16,6 +18,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/stonne/config"
 	"repro/internal/stonne/mapping"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -266,4 +269,43 @@ func AssertEquivalent(tb testing.TB, jobs []farm.Job) {
 	defer tensor.SetPooling(prev) // restore even when RunFresh fails the test
 	unpooled := RunFresh(tb, jobs)
 	AssertSameResults(tb, "pooling-bypassed run vs pooled fresh", want, unpooled)
+
+	// Path 6: lifecycle tracing is observation only (PR 6). The same jobs
+	// with Job.Trace set — through a traced farm feeding a trace ring — must
+	// produce byte-identical results under the same content-addressed keys,
+	// with every execution's trace captured.
+	plainKeys := make([]string, len(jobs))
+	for i, j := range jobs {
+		k, err := j.Key()
+		if err != nil {
+			tb.Fatalf("keying job %d: %v", i, err)
+		}
+		plainKeys[i] = k
+	}
+	ring := telemetry.NewTraceRing(2 * len(jobs))
+	traced := farm.New(4, farm.WithTraceRing(ring))
+	defer traced.Close()
+	tjobs := make([]farm.Job, len(jobs))
+	for i, j := range jobs {
+		j.Trace = true
+		tjobs[i] = j
+	}
+	tracedResults, err := traced.DoBatch(tjobs)
+	if err != nil {
+		tb.Fatalf("traced pass: %v", err)
+	}
+	AssertSameResults(tb, "traced pass vs fresh", want, tracedResults)
+	for i, res := range tracedResults {
+		if res.Key != plainKeys[i] {
+			tb.Errorf("job %d: tracing changed the key: %q vs %q", i, res.Key, plainKeys[i])
+		}
+		if res.Trace == nil {
+			tb.Errorf("traced pass: job %d returned no trace", i)
+		} else if res.Trace.Key != res.Key {
+			tb.Errorf("job %d: trace key %q != result key %q", i, res.Trace.Key, res.Key)
+		}
+	}
+	if got := ring.Total(); got != uint64(len(jobs)) {
+		tb.Errorf("trace ring recorded %d traces, want %d", got, len(jobs))
+	}
 }

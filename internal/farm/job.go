@@ -16,6 +16,7 @@ import (
 	"repro/internal/stonne/maeri"
 	"repro/internal/stonne/mapping"
 	"repro/internal/stonne/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -100,6 +101,16 @@ type Job struct {
 	// non-finite values are outside the farm's contract.
 	Reference bool
 
+	// Trace requests a per-submission lifecycle trace in the Result: where
+	// the job's wall-clock time went (enqueue wait, single-flight dedup,
+	// memory/disk lookup, compute, persist) and which tier answered it.
+	// Tracing observes execution, never results — byte-identical outputs
+	// and counters either way, enforced by the farmtest differential
+	// harness — so Trace, like ExecWorkers and Reference, deliberately
+	// does NOT participate in Key(): traced and untraced submissions share
+	// cache entries on every tier.
+	Trace bool
+
 	// pack is the shared content-keyed cache of derived operand forms the
 	// fused engines may reuse (packed weight panels, kernel matrices,
 	// layout transposes). The farm threads its own cache through here on
@@ -133,6 +144,13 @@ type Result struct {
 	// Key is the job's content-addressed cache key, filled in by the farm
 	// (inline Run leaves it empty — no key is computed on that path).
 	Key string
+
+	// Trace is the job's lifecycle trace, filled in by the farm when the
+	// job asked for one (Job.Trace) or the farm records recent traces
+	// (WithTraceRing). Like Hit and Key it is per-submission transport
+	// state: cache tiers store results without it and it is never
+	// persisted to disk.
+	Trace *telemetry.Trace
 }
 
 // Run executes the job inline on the calling goroutine, with no farm, no

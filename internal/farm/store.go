@@ -52,6 +52,15 @@ type StoreStats struct {
 	Errors int64 `json:"errors,omitempty"`
 }
 
+// HitRatio returns the tier's hits over lookups (0 when never consulted) —
+// the computed field the telemetry rollups and /stats expose.
+func (s StoreStats) HitRatio() float64 {
+	if s.Hits+s.Misses <= 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
 // MemoryStore is the in-memory tier: a map fronted by an LRU list, bounded
 // by entry count and/or resident bytes. The zero bounds mean unbounded,
 // which is the farm's default and matches the PR-1 cache semantics.
@@ -102,7 +111,7 @@ func (m *MemoryStore) Get(key string) (Result, bool) {
 // cold end until both bounds hold. A result larger than the byte bound on
 // its own is evicted immediately — the bound is absolute, not best-effort.
 func (m *MemoryStore) Put(key string, res Result) {
-	res.Hit, res.Key = false, "" // canonical form: transport state is per-submission
+	res.Hit, res.Key, res.Trace = false, "", nil // canonical form: transport state is per-submission
 	size := resultFootprint(res)
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/telemetry"
+)
+
+// TestMetricsEndpoint checks the Prometheus exposition: content type, the
+// registry-backed families and the scrape-time farm families, with values
+// consistent with the traffic that was just served.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// One miss and one hit populate the farm counters, the phase and
+	// compute histograms and the request histograms.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(convBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	for _, family := range []string{
+		// Registry-backed histograms and gauges.
+		"bifrost_http_request_seconds_bucket",
+		"bifrost_http_in_flight",
+		"bifrost_farm_phase_seconds_bucket",
+		"bifrost_compute_seconds_bucket",
+		// Scrape-time families derived from farm.Stats.
+		"bifrost_farm_workers 2",
+		"bifrost_farm_submitted_total 2",
+		"bifrost_farm_hits_total 1",
+		"bifrost_farm_misses_total 1",
+		"bifrost_farm_hit_ratio 0.5",
+		`bifrost_store_entries{tier="memory"} 1`,
+		`bifrost_store_hit_ratio{tier="memory"}`,
+		"bifrost_pack_cache_hits_total",
+		"bifrost_traces_recorded_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("exposition missing %q", family)
+		}
+	}
+	// Every HELP line must be paired with a TYPE line.
+	if got, want := strings.Count(text, "# HELP"), strings.Count(text, "# TYPE"); got != want || got == 0 {
+		t.Errorf("HELP lines %d, TYPE lines %d", got, want)
+	}
+}
+
+// TestVersionEndpoint checks the build/runtime descriptor.
+func TestVersionEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v VersionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(v.GoVersion, "go") {
+		t.Errorf("go_version %q", v.GoVersion)
+	}
+	if v.SIMD == "" {
+		t.Error("simd level empty")
+	}
+	if v.Farm.Workers != 2 {
+		t.Errorf("farm.workers = %d, want 2", v.Farm.Workers)
+	}
+}
+
+// TestTraceRoundTrip checks the per-request trace flag: a traced request
+// echoes a lifecycle trace naming its source tier, an untraced request
+// carries none, and tracing never changes keys or results.
+func TestTraceRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	traced := strings.Replace(convBody, `"seed": 1`, `"seed": 1, "trace": true`, 1)
+
+	post := func(body string) JobResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jr JobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		if jr.Error != "" {
+			t.Fatal(jr.Error)
+		}
+		return jr
+	}
+
+	first := post(traced)
+	if first.Trace == nil {
+		t.Fatal("traced request returned no trace")
+	}
+	if first.Trace.Source != "compute" {
+		t.Errorf("fresh trace source %q, want compute", first.Trace.Source)
+	}
+	if first.Trace.Key != first.Key {
+		t.Errorf("trace key %q != response key %q", first.Trace.Key, first.Key)
+	}
+	if first.Trace.ComputeMS <= 0 {
+		t.Errorf("fresh trace compute_ms = %v, want > 0", first.Trace.ComputeMS)
+	}
+
+	second := post(traced)
+	if !second.Cached {
+		t.Fatal("repeat of traced request missed the cache")
+	}
+	if second.Trace == nil || second.Trace.Source != "memory" {
+		t.Fatalf("warm trace = %+v, want source memory", second.Trace)
+	}
+
+	// An untraced request shares the cache entry (trace flag excluded from
+	// the key) and carries no trace.
+	plain := post(convBody)
+	if !plain.Cached || plain.Key != first.Key {
+		t.Fatalf("untraced request did not share the traced entry: cached=%v key=%q vs %q",
+			plain.Cached, plain.Key, first.Key)
+	}
+	if plain.Trace != nil {
+		t.Errorf("untraced request carried a trace: %+v", plain.Trace)
+	}
+	if plain.OutputSum != first.OutputSum || *plain.Stats != *first.Stats {
+		t.Error("tracing changed the result payload")
+	}
+}
+
+// TestElapsedSubMillisecond pins the float elapsed_ms contract: an analytic
+// dry run completes in well under a millisecond and must report a positive
+// fractional time, not a truncated 0.
+func TestElapsedSubMillisecond(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"arch": {"controller": "maeri"}, "op": "conv2d",
+		"conv": {"c": 2, "h": 8, "k": 4, "r": 3}, "dry_run": true}`
+	// Warm the cache so the timed request is a pure memory hit.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr JobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if jr.Error != "" {
+			t.Fatal(jr.Error)
+		}
+		if jr.ElapsedMS <= 0 {
+			t.Fatalf("elapsed_ms = %v, want > 0 (sub-millisecond times must not truncate)", jr.ElapsedMS)
+		}
+	}
+}
+
+// TestDebugTraces checks the bounded trace ring endpoint: executions land in
+// the ring newest-first and the total keeps counting past the capacity.
+func TestDebugTraces(t *testing.T) {
+	ring := telemetry.NewTraceRing(8)
+	fm := farm.New(2, farm.WithTraceRing(ring))
+	ts := httptest.NewServer(NewServer(fm))
+	t.Cleanup(func() { ts.Close(); fm.Close() })
+
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(convBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	tresp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var tr TracesResponse
+	if err := json.NewDecoder(tresp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != 1 || len(tr.Traces) != 1 {
+		t.Fatalf("traces = %+v, want exactly the one execution", tr)
+	}
+	if tr.Traces[0].Source != "compute" {
+		t.Errorf("trace source %q, want compute", tr.Traces[0].Source)
+	}
+}
+
+// TestStatsExtended decodes the extended /stats payload and checks the
+// telemetry rollups layered on top of the raw farm snapshot.
+func TestStatsExtended(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(convBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("raw farm counters lost in the extended payload: %+v", st.Stats)
+	}
+	if st.Ratios.Farm != 0.5 {
+		t.Errorf("farm ratio %v, want 0.5", st.Ratios.Farm)
+	}
+	if st.Ratios.Memory <= 0 {
+		t.Errorf("memory ratio %v, want > 0", st.Ratios.Memory)
+	}
+	if st.Phases["compute"].Count == 0 {
+		t.Error("compute phase summary empty after an execution")
+	}
+	if _, ok := st.Compute["maeri"]; !ok {
+		t.Errorf("compute summaries missing maeri: %v", st.Compute)
+	}
+	if st.Requests["/simulate"].Count < 2 {
+		t.Errorf("request summary for /simulate = %+v, want >= 2 observations", st.Requests["/simulate"])
+	}
+	if st.Limits.Workers != 2 {
+		t.Errorf("limits.workers = %d", st.Limits.Workers)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime %v", st.UptimeSeconds)
+	}
+}
+
+// TestSlowJobLogging checks that a threshold of one nanosecond flags every
+// job as slow and logs its key with the lifecycle trace, without echoing a
+// trace to a client that did not ask for one.
+func TestSlowJobLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	fm := farm.New(1)
+	ts := httptest.NewServer(NewServer(fm, WithLogger(logger), WithSlowJobThreshold(time.Nanosecond)))
+	t.Cleanup(func() { ts.Close(); fm.Close() })
+
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(convBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jr.Trace != nil {
+		t.Error("slow-job tracing leaked into a response that did not request a trace")
+	}
+
+	logs := buf.String()
+	if !strings.Contains(logs, "slow job") {
+		t.Fatalf("no slow-job warning in logs:\n%s", logs)
+	}
+	if !strings.Contains(logs, jr.Key) {
+		t.Error("slow-job warning does not name the job key")
+	}
+	if !strings.Contains(logs, "compute_ms") {
+		t.Error("slow-job warning carries no lifecycle trace")
+	}
+	if !strings.Contains(logs, `"path":"/simulate"`) {
+		t.Error("request log line missing")
+	}
+}
+
+// TestTraceAll checks the server-wide -trace mode: every response carries a
+// trace without the client opting in.
+func TestTraceAll(t *testing.T) {
+	fm := farm.New(1)
+	ts := httptest.NewServer(NewServer(fm, WithTraceAll(true)))
+	t.Cleanup(func() { ts.Close(); fm.Close() })
+
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(convBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Trace == nil || jr.Trace.Source != "compute" {
+		t.Fatalf("server-wide tracing returned trace %+v", jr.Trace)
+	}
+}

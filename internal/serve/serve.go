@@ -4,11 +4,14 @@
 // behind a line-oriented JSON protocol — so heavy sweeps can be driven
 // remotely, batched, deduplicated and cached:
 //
-//	POST /simulate  one job  (JSON object  → JSON object)
-//	POST /batch     a sweep  (JSON {"jobs": [...]} → {"results": [...]},
-//	                or NDJSON: one job per line → one result per line)
-//	GET  /stats     farm scheduler + cache metrics
-//	GET  /healthz   liveness probe
+//	POST /simulate      one job  (JSON object  → JSON object)
+//	POST /batch         a sweep  (JSON {"jobs": [...]} → {"results": [...]},
+//	                    or NDJSON: one job per line → one result per line)
+//	GET  /stats         farm scheduler + cache metrics + telemetry rollups
+//	GET  /metrics       Prometheus text exposition of every metric family
+//	GET  /version       build, toolchain, SIMD level and configured bounds
+//	GET  /debug/traces  bounded ring of recent per-job lifecycle traces
+//	GET  /healthz       liveness probe
 //
 // Operand tensors are generated server-side from the request seed, so a job
 // is a small, reproducible description — the same request always hits the
@@ -21,19 +24,25 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/farm"
 	"repro/internal/stonne/config"
 	"repro/internal/stonne/mapping"
 	"repro/internal/stonne/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -130,6 +139,12 @@ type JobRequest struct {
 	// (the accumulation order never changes), so it does not participate in
 	// the cache key: serial and parallel requests share entries.
 	ExecWorkers int `json:"exec_workers,omitempty"`
+	// Trace echoes a per-job lifecycle trace in the response: where the
+	// job's wall-clock time went (enqueue wait, dedup, cache lookups,
+	// compute, persist) and which tier answered it. Tracing never changes
+	// results or cache keys; the server's -trace flag turns it on for
+	// every request.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Job compiles the request into a farm job.
@@ -138,7 +153,7 @@ func (r JobRequest) Job() (farm.Job, error) {
 	if err != nil {
 		return farm.Job{}, err
 	}
-	j := farm.Job{HW: cfg, Seed: r.Seed, DryRun: r.DryRun, ExecWorkers: r.ExecWorkers}
+	j := farm.Job{HW: cfg, Seed: r.Seed, DryRun: r.DryRun, ExecWorkers: r.ExecWorkers, Trace: r.Trace}
 	switch r.Op {
 	case "conv2d":
 		if r.Conv == nil {
@@ -227,8 +242,14 @@ type JobResponse struct {
 	// check reproducibility without shipping whole tensors.
 	OutputShape []int   `json:"output_shape,omitempty"`
 	OutputSum   float64 `json:"output_sum,omitempty"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
-	Error       string  `json:"error,omitempty"`
+	// ElapsedMS is the request's server-side wall clock in float
+	// milliseconds — float so sub-millisecond analytic dry runs report
+	// their real cost instead of truncating to 0.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Trace is the job's lifecycle trace, present when the request set
+	// "trace": true or the server runs with -trace.
+	Trace *telemetry.Trace `json:"trace,omitempty"`
+	Error string           `json:"error,omitempty"`
 }
 
 // Server routes simulation requests into a farm.
@@ -236,6 +257,15 @@ type Server struct {
 	farm        *farm.Farm
 	mux         *http.ServeMux
 	execWorkers int
+
+	logger   *slog.Logger
+	traceAll bool
+	slowJob  time.Duration
+	ring     *telemetry.TraceRing
+
+	inflight   *telemetry.Gauge
+	reqSeconds map[string]*telemetry.Histogram
+	started    time.Time
 }
 
 // ServerOption configures a Server.
@@ -246,21 +276,114 @@ type ServerOption func(*Server)
 // meaning the serial kernel, matching the farm's own default.
 func WithExecWorkers(n int) ServerOption { return func(s *Server) { s.execWorkers = n } }
 
+// WithLogger sets the structured request logger (default slog.Default()).
+func WithLogger(l *slog.Logger) ServerOption { return func(s *Server) { s.logger = l } }
+
+// WithTraceAll echoes a lifecycle trace in every job response, as if each
+// request had set "trace": true. Tracing never changes results or keys.
+func WithTraceAll(on bool) ServerOption { return func(s *Server) { s.traceAll = on } }
+
+// WithSlowJobThreshold logs a warning with the full lifecycle trace for
+// any job slower than d (0 disables). The trace is collected for every job
+// while enabled, whether or not the client asked for one, but echoed only
+// on request.
+func WithSlowJobThreshold(d time.Duration) ServerOption { return func(s *Server) { s.slowJob = d } }
+
+// WithTraceRing sets the ring backing GET /debug/traces. When unset, the
+// server uses the farm's ring (farm.WithTraceRing); with neither, the
+// endpoint reports zero traces.
+func WithTraceRing(r *telemetry.TraceRing) ServerOption { return func(s *Server) { s.ring = r } }
+
 // NewServer returns an http.Handler serving the bifrost-serve API on the
 // given farm.
 func NewServer(f *farm.Farm, opts ...ServerOption) *Server {
-	s := &Server{farm: f, mux: http.NewServeMux()}
+	s := &Server{farm: f, mux: http.NewServeMux(), started: time.Now()}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("POST /simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /batch", s.handleBatch)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	if s.ring == nil {
+		s.ring = f.Ring()
+	}
+	reg := telemetry.Default()
+	s.inflight = reg.Gauge("bifrost_http_in_flight",
+		"HTTP requests currently being served.")
+	s.reqSeconds = make(map[string]*telemetry.Histogram)
+	s.route("POST", "/simulate", s.handleSimulate)
+	s.route("POST", "/batch", s.handleBatch)
+	s.route("GET", "/stats", s.handleStats)
+	s.route("GET", "/metrics", s.handleMetrics)
+	s.route("GET", "/version", s.handleVersion)
+	s.route("GET", "/debug/traces", s.handleTraces)
+	s.route("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
 	return s
+}
+
+// route registers an instrumented endpoint: per-endpoint latency
+// histogram, in-flight gauge and a structured request log line.
+func (s *Server) route(method, path string, h http.HandlerFunc) {
+	hist := telemetry.Default().Histogram("bifrost_http_request_seconds",
+		"HTTP request latency per endpoint.",
+		nil, telemetry.Label{Name: "endpoint", Value: path})
+	s.reqSeconds[path] = hist
+	s.mux.HandleFunc(method+" "+path, s.instrument(path, hist, h))
+}
+
+// statusRecorder captures the response status and size for the request
+// log. It forwards Flush so the NDJSON streaming path keeps streaming.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument wraps a handler with the request telemetry: latency
+// histogram, in-flight gauge, structured log line. Scrape and liveness
+// endpoints log at Debug so a tight scrape loop does not drown real
+// traffic in the log.
+func (s *Server) instrument(endpoint string, hist *telemetry.Histogram, h http.HandlerFunc) http.HandlerFunc {
+	level := slog.LevelInfo
+	if endpoint == "/healthz" || endpoint == "/metrics" {
+		level = slog.LevelDebug
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Inc()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.inflight.Dec()
+		elapsed := time.Since(start)
+		hist.Observe(elapsed.Seconds())
+		s.logger.LogAttrs(r.Context(), level, "request",
+			slog.String("method", r.Method),
+			slog.String("path", endpoint),
+			slog.Int("status", rec.status),
+			slog.Float64("elapsed_ms", telemetry.MS(elapsed)),
+			slog.Int64("bytes", rec.bytes),
+		)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -272,16 +395,34 @@ func (s *Server) run(req JobRequest) JobResponse {
 	if req.ExecWorkers == 0 {
 		req.ExecWorkers = s.execWorkers
 	}
+	// echoTrace controls what the client sees; the job is additionally
+	// traced when slow-job logging needs the data.
+	echoTrace := req.Trace || s.traceAll
+	req.Trace = echoTrace || s.slowJob > 0
 	job, err := req.Job()
 	if err != nil {
 		return JobResponse{Error: err.Error(), ElapsedMS: msSince(start)}
 	}
 	res, err := s.farm.Do(job)
+	elapsed := time.Since(start)
 	if err != nil {
 		key, _ := job.Key() // best effort: name the job even on failure
-		return JobResponse{Key: key, Error: err.Error(), ElapsedMS: msSince(start)}
+		return JobResponse{Key: key, Error: err.Error(), ElapsedMS: telemetry.MS(elapsed)}
 	}
-	resp := JobResponse{Key: res.Key, Cached: res.Hit, Stats: &res.Stats, ElapsedMS: msSince(start)}
+	if s.slowJob > 0 && elapsed >= s.slowJob {
+		s.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow job",
+			slog.String("key", res.Key),
+			slog.String("op", req.Op),
+			slog.String("controller", req.Arch.Controller),
+			slog.Bool("cached", res.Hit),
+			slog.Float64("elapsed_ms", telemetry.MS(elapsed)),
+			slog.Any("trace", res.Trace),
+		)
+	}
+	resp := JobResponse{Key: res.Key, Cached: res.Hit, Stats: &res.Stats, ElapsedMS: telemetry.MS(elapsed)}
+	if echoTrace {
+		resp.Trace = res.Trace
+	}
 	if res.Out != nil {
 		resp.OutputShape = res.Out.Shape()
 		var sum float64
@@ -450,6 +591,176 @@ func (s *Server) streamBatch(w http.ResponseWriter, reqs []JobRequest) {
 	}
 }
 
+// Ratios summarises every cache tier as a single hit fraction.
+type Ratios struct {
+	// Farm is the fraction of submissions answered without a simulator
+	// execution (cache hits plus single-flight attaches).
+	Farm float64 `json:"farm"`
+	// Memory and Disk are the per-tier lookup hit ratios.
+	Memory float64 `json:"memory"`
+	Disk   float64 `json:"disk,omitempty"`
+	// Pack is the packed-operand cache's hit ratio.
+	Pack float64 `json:"pack"`
+}
+
+// StatsResponse is the extended GET /stats payload: the farm's raw counter
+// snapshot (unchanged shape — existing clients keep decoding it) plus the
+// telemetry rollups layered on top.
+type StatsResponse struct {
+	farm.Stats
+	// Ratios are the derived per-tier hit fractions.
+	Ratios Ratios `json:"ratios"`
+	// Phases summarises the per-phase job lifecycle histograms
+	// (enqueue_wait, dedup, mem_lookup, disk_lookup, compute, persist).
+	Phases map[string]telemetry.HistogramSummary `json:"phases,omitempty"`
+	// Compute summarises simulator compute time per controller.
+	Compute map[string]telemetry.HistogramSummary `json:"compute,omitempty"`
+	// Requests summarises HTTP latency per endpoint.
+	Requests map[string]telemetry.HistogramSummary `json:"requests,omitempty"`
+	// Limits are the farm's configured bounds.
+	Limits farm.Limits `json:"limits"`
+	// TracesRecorded counts lifecycle traces captured into the debug ring.
+	TracesRecorded uint64  `json:"traces_recorded"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.farm.Stats())
+	st := s.farm.Stats()
+	resp := StatsResponse{
+		Stats: st,
+		Ratios: Ratios{
+			Farm:   st.HitRate(),
+			Memory: st.Memory.HitRatio(),
+			Pack:   telemetry.Ratio(st.Pack.Hits, st.Pack.Misses),
+		},
+		Phases:         farm.PhaseSummaries(),
+		Compute:        api.ComputeSummaries(),
+		Requests:       make(map[string]telemetry.HistogramSummary, len(s.reqSeconds)),
+		Limits:         s.farm.Limits(),
+		TracesRecorded: s.ring.Total(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+	}
+	if st.Disk != nil {
+		resp.Ratios.Disk = st.Disk.HitRatio()
+	}
+	for path, hist := range s.reqSeconds {
+		resp.Requests[path] = hist.Summary()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MetricsHandler returns the Prometheus scrape handler standalone, so main
+// can also mount it on the pprof side port.
+func (s *Server) MetricsHandler() http.Handler { return http.HandlerFunc(s.handleMetrics) }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.Default().WritePrometheus(w)
+	s.writeFarmMetrics(w)
+}
+
+// writeFarmMetrics renders the farm's counter snapshot as exposition
+// families at scrape time. These values are owned by the farm's Stats
+// accounting; deriving them per scrape keeps /metrics and /stats exactly
+// consistent without double-counting state in the registry.
+func (s *Server) writeFarmMetrics(w io.Writer) {
+	st := s.farm.Stats()
+	one := func(v float64) []telemetry.Sample { return []telemetry.Sample{{Value: v}} }
+
+	telemetry.WriteSamples(w, "bifrost_farm_workers", "Configured worker pool size.", "gauge", one(float64(st.Workers))...)
+	telemetry.WriteSamples(w, "bifrost_farm_busy_workers", "Workers executing a job right now.", "gauge", one(float64(st.BusyWorkers))...)
+	telemetry.WriteSamples(w, "bifrost_farm_queue_depth", "Jobs waiting for a worker.", "gauge", one(float64(st.Queued))...)
+	telemetry.WriteSamples(w, "bifrost_farm_pending_jobs", "Jobs queued or running.", "gauge", one(float64(st.Pending))...)
+
+	telemetry.WriteSamples(w, "bifrost_farm_submitted_total", "Jobs handed to the farm.", "counter", one(float64(st.Submitted))...)
+	telemetry.WriteSamples(w, "bifrost_farm_completed_total", "Simulator executions finished.", "counter", one(float64(st.Completed))...)
+	telemetry.WriteSamples(w, "bifrost_farm_failed_total", "Simulator executions failed.", "counter", one(float64(st.Failed))...)
+	telemetry.WriteSamples(w, "bifrost_farm_hits_total", "Submissions served from cache.", "counter", one(float64(st.Hits))...)
+	telemetry.WriteSamples(w, "bifrost_farm_disk_hits_total", "Cache hits answered by the disk tier.", "counter", one(float64(st.DiskHits))...)
+	telemetry.WriteSamples(w, "bifrost_farm_misses_total", "Submissions that required a simulation.", "counter", one(float64(st.Misses))...)
+	telemetry.WriteSamples(w, "bifrost_farm_deduped_total", "Submissions attached to an in-flight execution.", "counter", one(float64(st.Deduped))...)
+	telemetry.WriteSamples(w, "bifrost_farm_hit_ratio", "Fraction of submissions answered without an execution.", "gauge", one(st.HitRate())...)
+
+	tier := func(name string) []telemetry.Label { return []telemetry.Label{{Name: "tier", Value: name}} }
+	tiers := []struct {
+		labels []telemetry.Label
+		st     farm.StoreStats
+	}{{tier("memory"), st.Memory}}
+	if st.Disk != nil {
+		tiers = append(tiers, struct {
+			labels []telemetry.Label
+			st     farm.StoreStats
+		}{tier("disk"), *st.Disk})
+	}
+	family := func(suffix, help, typ string, pick func(farm.StoreStats) float64) {
+		samples := make([]telemetry.Sample, len(tiers))
+		for i, t := range tiers {
+			samples[i] = telemetry.Sample{Labels: t.labels, Value: pick(t.st)}
+		}
+		telemetry.WriteSamples(w, "bifrost_store_"+suffix, help, typ, samples...)
+	}
+	family("entries", "Results held by the tier.", "gauge", func(s farm.StoreStats) float64 { return float64(s.Entries) })
+	family("bytes", "Resident bytes held by the tier.", "gauge", func(s farm.StoreStats) float64 { return float64(s.Bytes) })
+	family("hits_total", "Tier lookup hits.", "counter", func(s farm.StoreStats) float64 { return float64(s.Hits) })
+	family("misses_total", "Tier lookup misses.", "counter", func(s farm.StoreStats) float64 { return float64(s.Misses) })
+	family("puts_total", "Results stored into the tier.", "counter", func(s farm.StoreStats) float64 { return float64(s.Puts) })
+	family("evictions_total", "Entries evicted to honour the tier's bounds.", "counter", func(s farm.StoreStats) float64 { return float64(s.Evictions) })
+	family("corrupt_total", "Entries dropped as corrupt.", "counter", func(s farm.StoreStats) float64 { return float64(s.Corrupt) })
+	family("errors_total", "Tier I/O errors.", "counter", func(s farm.StoreStats) float64 { return float64(s.Errors) })
+	family("hit_ratio", "Tier lookup hit ratio.", "gauge", farm.StoreStats.HitRatio)
+
+	pk := st.Pack
+	telemetry.WriteSamples(w, "bifrost_pack_cache_entries", "Packed operands held.", "gauge", one(float64(pk.Entries))...)
+	telemetry.WriteSamples(w, "bifrost_pack_cache_bytes", "Resident packed-operand bytes.", "gauge", one(float64(pk.Bytes))...)
+	telemetry.WriteSamples(w, "bifrost_pack_cache_hits_total", "Packed-operand reuse hits.", "counter", one(float64(pk.Hits))...)
+	telemetry.WriteSamples(w, "bifrost_pack_cache_misses_total", "Packed-operand misses.", "counter", one(float64(pk.Misses))...)
+	telemetry.WriteSamples(w, "bifrost_pack_cache_evictions_total", "Packed operands evicted.", "counter", one(float64(pk.Evictions))...)
+	telemetry.WriteSamples(w, "bifrost_pack_cache_hit_ratio", "Packed-operand hit ratio.", "gauge", one(telemetry.Ratio(pk.Hits, pk.Misses))...)
+
+	telemetry.WriteSamples(w, "bifrost_traces_recorded_total", "Lifecycle traces captured into the debug ring.", "counter", one(float64(s.ring.Total()))...)
+}
+
+// VersionInfo is the GET /version payload.
+type VersionInfo struct {
+	Module      string      `json:"module,omitempty"`
+	Version     string      `json:"version,omitempty"`
+	GoVersion   string      `json:"go_version"`
+	VCSRevision string      `json:"vcs_revision,omitempty"`
+	VCSTime     string      `json:"vcs_time,omitempty"`
+	SIMD        string      `json:"simd"`
+	ExecWorkers int         `json:"exec_workers"`
+	Farm        farm.Limits `json:"farm"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	info := VersionInfo{
+		GoVersion:   runtime.Version(),
+		SIMD:        tensor.SIMDLevel(),
+		ExecWorkers: s.execWorkers,
+		Farm:        s.farm.Limits(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.Module = bi.Main.Path
+		info.Version = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				info.VCSRevision = kv.Value
+			case "vcs.time":
+				info.VCSTime = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// TracesResponse is the GET /debug/traces payload: the ring's retained
+// lifecycle traces, newest first.
+type TracesResponse struct {
+	Total  uint64             `json:"total"`
+	Traces []*telemetry.Trace `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, TracesResponse{Total: s.ring.Total(), Traces: s.ring.Snapshot()})
 }
