@@ -131,6 +131,59 @@ func FarmMaxBytes(b int64) FarmOption { return farm.WithMaxBytes(b) }
 // FarmDiskCache attaches a persistent tier to the farm.
 func FarmDiskCache(ds *DiskStore) FarmOption { return farm.WithDiskStore(ds) }
 
+// FarmStore is one tier of a farm's result cache; implement it to attach a
+// custom persistent tier (FarmDiskStore), or wrap a DiskStore in a
+// RetryStore for fault tolerance.
+type FarmStore = farm.Store
+
+// FarmDiskStore attaches any FarmStore as the farm's persistent tier — the
+// generic form of FarmDiskCache, for wrapped or custom stores.
+func FarmDiskStore(s FarmStore) FarmOption { return farm.WithDiskStore(s) }
+
+// FarmMaxQueue bounds the farm's job queue: at the bound, submissions fail
+// fast with ErrFarmQueueFull instead of growing the queue (backpressure).
+// n <= 0 (the default) leaves it unbounded.
+func FarmMaxQueue(n int) FarmOption { return farm.WithMaxQueue(n) }
+
+// ErrFarmQueueFull is returned (wrapped) by submissions rejected at the
+// FarmMaxQueue bound; match it with errors.Is.
+var ErrFarmQueueFull = farm.ErrQueueFull
+
+// ErrFarmClosed is returned (wrapped) by submissions to a farm that has
+// been Closed or Shut down, and by waiters whose queued jobs a timed-out
+// Shutdown abandoned; match it with errors.Is.
+var ErrFarmClosed = farm.ErrFarmClosed
+
+// PanicError is a simulator panic recovered into a per-job error: the
+// panicking value plus the goroutine stack. One poisoned job fails alone
+// with a *PanicError instead of taking down the process.
+type PanicError = farm.PanicError
+
+// RetryPolicy configures a RetryStore: bounded-exponential retry of
+// transient failures and the health breaker that quarantines a
+// repeatedly-failing tier.
+type RetryPolicy = farm.RetryPolicy
+
+// DefaultRetryPolicy returns the retry/breaker configuration bifrost-serve
+// uses for its disk tier.
+func DefaultRetryPolicy() RetryPolicy { return farm.DefaultRetryPolicy() }
+
+// RetryStore wraps a persistent tier with transient-fault retries and a
+// health breaker: a dying disk degrades the farm to memory-only —
+// byte-identical results, no stalled workers — and is re-probed until it
+// recovers.
+//
+//	ds, _ := bifrost.NewDiskStore(dir, 0)
+//	fm := bifrost.NewFarm(0, bifrost.FarmDiskStore(
+//		bifrost.NewRetryStore(ds, bifrost.DefaultRetryPolicy())))
+type RetryStore = farm.RetryStore
+
+// NewRetryStore wraps inner with policy; the wrapper owns inner and closes
+// it when closed itself.
+func NewRetryStore(inner FarmStore, policy RetryPolicy) *RetryStore {
+	return farm.NewRetryStore(inner, policy)
+}
+
 // PackCache is the content-keyed cache of derived operand forms (packed
 // weight panels, kernel matrices, layout transposes) a farm shares across
 // jobs, so a sweep over fixed network weights packs each derived form once

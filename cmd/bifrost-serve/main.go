@@ -20,6 +20,11 @@
 //	# from memory without even a disk probe
 //	bifrost-serve -cache-dir /var/cache/bifrost -cache-warm
 //
+//	# operational bounds: reject work beyond 4096 queued jobs (HTTP 429 +
+//	# Retry-After), time out jobs stuck past 30s (HTTP 504), and drain
+//	# cleanly on SIGTERM within 30s
+//	bifrost-serve -max-queue 4096 -job-timeout 30s -shutdown-timeout 30s
+//
 //	# one simulation
 //	curl -s localhost:8087/simulate -d '{
 //	  "arch": {"controller": "maeri", "ms_size": 128},
@@ -47,13 +52,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/farm"
@@ -74,6 +83,9 @@ func main() {
 		diskMax    = flag.Int64("cache-disk-max-bytes", 0, "disk cache byte bound, LRU-evicted (0 = unbounded)")
 		warm       = flag.Bool("cache-warm", false, "preload the disk cache's entries into the in-memory LRU at startup (requires -cache-dir)")
 		execW      = flag.Int("exec-workers", 0, "default per-job arithmetic workers for GEMM-lowered convs (0/1 = serial, <0 = GOMAXPROCS); responses are byte-identical either way")
+		maxQueue   = flag.Int("max-queue", 0, "queued-job bound: submissions beyond it are rejected with HTTP 429 + Retry-After instead of growing the queue (0 = unbounded)")
+		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline, e.g. 30s; unanswered jobs fail with HTTP 504 and queued ones are removed (0 = none; requests override with timeout_ms)")
+		drainWait  = flag.Duration("shutdown-timeout", 30*time.Second, "graceful-drain bound on SIGINT/SIGTERM: running jobs get this long to finish before queued work is abandoned")
 		pprofAddr  = flag.String("pprof", "", "side-port listen address for net/http/pprof and /metrics, e.g. localhost:6060 (empty = disabled)")
 		traceAll   = flag.Bool("trace", false, "echo a per-job lifecycle trace in every response (same as \"trace\": true on each request)")
 		slowJob    = flag.Duration("slow-job", 0, "log a warning with the full lifecycle trace for jobs slower than this, e.g. 250ms (0 = disabled)")
@@ -96,7 +108,11 @@ func main() {
 
 	log.Printf("simd: %s kernels", tensor.SIMDLevel())
 
-	opts := []farm.Option{farm.WithMaxEntries(*maxEntries), farm.WithMaxBytes(*maxBytes)}
+	opts := []farm.Option{
+		farm.WithMaxEntries(*maxEntries),
+		farm.WithMaxBytes(*maxBytes),
+		farm.WithMaxQueue(*maxQueue),
+	}
 	if *traceRing > 0 {
 		opts = append(opts, farm.WithTraceRing(telemetry.NewTraceRing(*traceRing)))
 	}
@@ -105,7 +121,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, farm.WithDiskStore(ds))
+		// The retry wrapper keeps a flaky disk from stalling workers: brief
+		// I/O errors are retried, a persistently failing tier is quarantined
+		// (the farm degrades to memory-only, still byte-identical) and
+		// re-probed until it recovers.
+		opts = append(opts, farm.WithDiskStore(farm.NewRetryStore(ds, farm.DefaultRetryPolicy())))
 		log.Printf("persistent cache at %s (%d entries, %d bytes warm)",
 			ds.Dir(), ds.Stats().Entries, ds.Stats().Bytes)
 	}
@@ -113,13 +133,13 @@ func main() {
 		log.Fatal("-cache-warm requires -cache-dir")
 	}
 	fm := farm.New(*workers, opts...)
-	defer fm.Close()
 	if *warm {
 		n := fm.Warm()
 		log.Printf("warmed %d cached results into memory", n)
 	}
 	api := serve.NewServer(fm,
 		serve.WithExecWorkers(*execW),
+		serve.WithJobTimeout(*jobTimeout),
 		serve.WithLogger(logger),
 		serve.WithTraceAll(*traceAll),
 		serve.WithSlowJobThreshold(*slowJob),
@@ -129,9 +149,14 @@ func main() {
 		// mounting /metrics beside them gives operators one private side
 		// port for both profiling and scraping, off the public API.
 		http.DefaultServeMux.Handle("GET /metrics", api.MetricsHandler())
+		side := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
 		go func() {
 			log.Printf("pprof + metrics on http://%s/debug/pprof/ and /metrics", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := side.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
@@ -141,8 +166,40 @@ func main() {
 		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// Graceful drain: the first SIGINT/SIGTERM stops the listener, lets
+	// in-flight requests and running jobs finish within -shutdown-timeout,
+	// then abandons whatever is still queued. A second signal aborts
+	// immediately (signal.Stop restores default handling).
+	done := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	log.Printf("serving on %s with %d workers", *addr, fm.Workers())
-	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
-		log.Fatal(err)
+
+	select {
+	case err := <-done:
+		fm.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("%s: draining (up to %s)...", s, *drainWait)
+		signal.Stop(sig) // a second signal kills the process the default way
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := fm.Shutdown(ctx); err != nil {
+			log.Printf("farm shutdown: %v", err)
+		}
+		log.Printf("drained, bye")
 	}
 }

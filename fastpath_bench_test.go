@@ -240,9 +240,17 @@ func warmSweepMappings() []mapping.ConvMapping {
 //	           pooled tensor arenas, sharded memory store
 //	baseline — the PR 4 configuration: pack reuse disabled, arenas
 //	           bypassed, single-lock memory store
+//	guarded  — the pooled farm plus the PR 7 robustness guards as
+//	           bifrost-serve deploys them: a bounded submit queue and a
+//	           persistent tier (an in-memory stand-in, so the disk itself
+//	           is not measured) wrapped in a RetryStore (retry + health
+//	           breaker). The guards sit on the submit, probe and persist
+//	           paths, so this variant bounds their steady-state overhead —
+//	           it should be within noise of pooled.
 //
-// Outputs and cache keys are byte-identical across the two (the farmtest
-// equivalence pass proves it); only jobs/sec differs.
+// Outputs and cache keys are byte-identical across all variants (the
+// farmtest equivalence and fault-tolerance passes prove it); only jobs/sec
+// differs.
 func BenchmarkWarmSweep(b *testing.B) {
 	d := tensor.ConvDims{N: 1, C: 256, H: 6, W: 6, K: 256, R: 3, S: 3, PadH: 1, PadW: 1}
 	if err := d.Resolve(); err != nil {
@@ -263,6 +271,10 @@ func BenchmarkWarmSweep(b *testing.B) {
 		{"baseline", false, func() []farm.Option {
 			return []farm.Option{farm.WithMaxEntries(256), farm.WithPackCache(nil),
 				farm.WithMemoryStore(farm.NewMemoryStore(256, 0))}
+		}},
+		{"guarded", true, func() []farm.Option {
+			return []farm.Option{farm.WithMaxEntries(256), farm.WithMaxQueue(4096),
+				farm.WithDiskStore(farm.NewRetryStore(farm.NewMemoryStore(256, 0), farm.DefaultRetryPolicy()))}
 		}},
 	}
 	for _, v := range variants {

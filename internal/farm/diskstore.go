@@ -125,26 +125,38 @@ func (ds *DiskStore) path(key string) string { return filepath.Join(ds.dir, key)
 // Get implements Store. A hit refreshes the entry's modification time so
 // LRU eviction sees it as recently used.
 func (ds *DiskStore) Get(key string) (Result, bool) {
+	res, ok, _ := ds.GetErr(key)
+	return res, ok
+}
+
+// GetErr implements FallibleStore: like Get, but an I/O failure (anything
+// other than a clean miss or a dropped corrupt entry) is returned so a
+// reliability wrapper can retry it and track the tier's health.
+func (ds *DiskStore) GetErr(key string) (Result, bool, error) {
 	if !validKey(key) {
 		ds.count(func(s *StoreStats) { s.Misses++ })
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	b, err := os.ReadFile(ds.path(key))
 	if err != nil {
+		ioErr := !os.IsNotExist(err)
 		ds.count(func(s *StoreStats) {
 			s.Misses++
-			if !os.IsNotExist(err) {
+			if ioErr {
 				s.Errors++
 			}
 		})
-		return Result{}, false
+		if ioErr {
+			return Result{}, false, fmt.Errorf("farm: disk store read: %w", err)
+		}
+		return Result{}, false, nil
 	}
 	res, err := decodeResult(b)
 	if err != nil {
 		// Damaged entry: drop it so the recomputed result gets a clean slot.
 		ds.remove(key)
 		ds.count(func(s *StoreStats) { s.Misses++; s.Corrupt++ })
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	now := time.Now()
 	os.Chtimes(ds.path(key), now, now) // best effort: cross-process LRU hint
@@ -155,30 +167,38 @@ func (ds *DiskStore) Get(key string) (Result, bool) {
 	}
 	ds.stats.Hits++
 	ds.mu.Unlock()
-	return res, true
+	return res, true, nil
 }
 
 // Put implements Store: encode, write to a temp file, fsync-free atomic
 // rename, then evict cold entries if the byte bound is exceeded. Failures
 // are recorded and swallowed — a result that could not be persisted is
 // still served from memory.
-func (ds *DiskStore) Put(key string, res Result) {
+func (ds *DiskStore) Put(key string, res Result) { ds.PutErr(key, res) }
+
+// PutErr implements FallibleStore: like Put, but a write failure is
+// returned so a reliability wrapper can retry it and track the tier's
+// health.
+func (ds *DiskStore) PutErr(key string, res Result) error {
 	if !validKey(key) {
-		return
+		return nil
 	}
 	res.Hit, res.Key = false, ""
 	b := encodeResult(res)
 	tmp, err := os.CreateTemp(ds.dir, tmpPrefix+"*")
 	if err != nil {
 		ds.count(func(s *StoreStats) { s.Errors++ })
-		return
+		return fmt.Errorf("farm: disk store write: %w", err)
 	}
 	_, werr := tmp.Write(b)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		ds.count(func(s *StoreStats) { s.Errors++ })
-		return
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("farm: disk store write: %w", werr)
 	}
 
 	ds.mu.Lock()
@@ -187,7 +207,7 @@ func (ds *DiskStore) Put(key string, res Result) {
 		ds.mu.Unlock()
 		os.Remove(tmp.Name())
 		ds.count(func(s *StoreStats) { s.Errors++ })
-		return
+		return fmt.Errorf("farm: disk store write: %w", err)
 	}
 	if statErr == nil {
 		ds.bytes -= prev.Size()
@@ -202,6 +222,7 @@ func (ds *DiskStore) Put(key string, res Result) {
 	ds.stats.Puts++
 	ds.evictLocked()
 	ds.mu.Unlock()
+	return nil
 }
 
 // evictLocked removes least-recently-used entries once the store exceeds
@@ -242,6 +263,12 @@ func (ds *DiskStore) evictLocked() {
 			if err == nil {
 				ds.stats.Evictions++
 			}
+		} else {
+			// The victim could not be deleted and still occupies disk. Keep
+			// its accounting (the bytes really are still there) and record
+			// the failure; the entry stays coldest and is retried by the
+			// next eviction pass.
+			ds.stats.DeleteErrors++
 		}
 	}
 }
@@ -251,10 +278,15 @@ func (ds *DiskStore) remove(key string) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	if info, err := os.Stat(ds.path(key)); err == nil {
-		if os.Remove(ds.path(key)) == nil {
+		switch err := os.Remove(ds.path(key)); {
+		case err == nil:
 			ds.bytes -= info.Size()
 			ds.entries--
 			delete(ds.index, key)
+		case !os.IsNotExist(err):
+			// A corrupt entry that refuses to die: it will keep reading as a
+			// miss, but the failed cleanup is worth surfacing.
+			ds.stats.DeleteErrors++
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package farm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +11,20 @@ import (
 
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
+)
+
+// Sentinel errors the scheduler returns for submissions it will not run.
+// Both are matched with errors.Is: the farm may wrap them with context.
+var (
+	// ErrFarmClosed fails submissions made after Close or Shutdown, and
+	// releases waiters whose queued jobs were abandoned by a timed-out
+	// Shutdown.
+	ErrFarmClosed = errors.New("farm: closed")
+
+	// ErrQueueFull fails submissions fast when the queue is at its
+	// WithMaxQueue bound — the farm's backpressure signal. The job was not
+	// enqueued; the caller should retry later or shed the work.
+	ErrQueueFull = errors.New("farm: submit queue full")
 )
 
 // phaseSeconds is the process-wide per-phase latency histogram family every
@@ -46,12 +62,16 @@ type Farm struct {
 	workers    int
 	maxEntries int
 	maxBytes   int64
+	maxQueue   int
 
 	qmu    sync.Mutex
 	qcond  *sync.Cond
 	queue  []*call
 	closed bool
 	wg     sync.WaitGroup
+
+	// tiersOnce makes tier teardown idempotent across Close and Shutdown.
+	tiersOnce sync.Once
 
 	cmu      sync.Mutex
 	mem      Store
@@ -83,6 +103,9 @@ type Farm struct {
 	deduped   atomic.Int64
 	pending   atomic.Int64
 	diskHits  atomic.Int64
+	panics    atomic.Int64
+	cancelled atomic.Int64
+	rejected  atomic.Int64
 }
 
 // Option configures a Farm at construction time.
@@ -96,6 +119,13 @@ func WithMaxEntries(n int) Option { return func(f *Farm) { f.maxEntries = n } }
 // bytes of cached results, evicted in LRU order; b <= 0 (the default)
 // leaves it unbounded.
 func WithMaxBytes(b int64) Option { return func(f *Farm) { f.maxBytes = b } }
+
+// WithMaxQueue bounds the job queue to n waiting jobs; when full, Submit
+// fails fast with ErrQueueFull instead of accepting work the farm cannot
+// serve. n <= 0 (the default) leaves the queue unbounded. Cache hits and
+// single-flight attaches never consume queue slots, so a warm sweep is
+// unaffected by the bound.
+func WithMaxQueue(n int) Option { return func(f *Farm) { f.maxQueue = n } }
 
 // WithMemoryStore replaces the in-memory tier wholesale (overriding
 // WithMaxEntries / WithMaxBytes). The store is closed with the farm.
@@ -146,6 +176,21 @@ type call struct {
 	// trace in the result; deduped waiters set it concurrently with the
 	// executing worker reading it at finish, hence atomic.
 	traced atomic.Bool
+
+	// waiters counts the futures attached to this call. Context-less
+	// submissions hold their reference forever; a context-aware waiter
+	// releases it when its context fires. When the count reaches zero the
+	// call is cancelled: pulled out of the queue (if still there) and
+	// failed with context.Canceled, so abandoned work never occupies a
+	// worker. Attach (under Farm.cmu) and the zero-check in detach (also
+	// under cmu) serialise, so a cancel never races a fresh attach.
+	waiters atomic.Int64
+	// cancelled marks a call whose last waiter detached; a worker that
+	// dequeues it reaps it instead of executing.
+	cancelled atomic.Bool
+	// deadline, when non-zero, is the instant the queued job expires; a
+	// worker dequeuing it later reaps it with context.DeadlineExceeded.
+	deadline time.Time
 }
 
 // New returns a running farm with the given number of workers; workers <= 0
@@ -228,21 +273,74 @@ func (f *Farm) Warm() int {
 // Close stops accepting jobs, waits for queued and running jobs to finish,
 // releases the workers and closes the cache tiers. Results persisted to a
 // disk tier remain on disk: a new farm opened on the same directory serves
-// them without re-simulating. Submitting after Close returns an error.
+// them without re-simulating. Close is idempotent, and submitting after it
+// fails with ErrFarmClosed. For a drain bounded by a deadline, use
+// Shutdown.
 func (f *Farm) Close() {
 	f.qmu.Lock()
 	if f.closed {
 		f.qmu.Unlock()
+		f.wg.Wait() // joined, not skipped: a concurrent closer still drains
+		f.closeTiers()
 		return
 	}
 	f.closed = true
 	f.qcond.Broadcast()
 	f.qmu.Unlock()
 	f.wg.Wait()
-	f.mem.Close()
-	if f.disk != nil {
-		f.disk.Close()
+	f.closeTiers()
+}
+
+// Shutdown is the graceful drain: it stops accepting jobs, lets the workers
+// finish everything already queued or running, then releases them and
+// closes the cache tiers — a clean stop that loses no accepted work. If ctx
+// fires first, the jobs still waiting in the queue are abandoned (their
+// Wait callers are released with ErrFarmClosed), executions already on a
+// worker run to completion (simulations cannot be interrupted), and ctx's
+// error is returned to report the unclean drain. Shutdown is idempotent and
+// composes with Close in either order.
+func (f *Farm) Shutdown(ctx context.Context) error {
+	f.qmu.Lock()
+	f.closed = true
+	f.qcond.Broadcast()
+	f.qmu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		f.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Deadline passed: pull the remaining queue out from under the
+		// workers so each stops after its current job, and release every
+		// waiter still parked on an abandoned call.
+		f.qmu.Lock()
+		abandoned := f.queue
+		f.queue = nil
+		f.qcond.Broadcast()
+		f.qmu.Unlock()
+		for _, c := range abandoned {
+			f.reap(c, fmt.Errorf("shutdown deadline passed: %w", ErrFarmClosed))
+		}
+		<-drained
 	}
+	f.closeTiers()
+	return err
+}
+
+// closeTiers closes the cache tiers exactly once across any interleaving of
+// Close and Shutdown calls.
+func (f *Farm) closeTiers() {
+	f.tiersOnce.Do(func() {
+		f.mem.Close()
+		if f.disk != nil {
+			f.disk.Close()
+		}
+	})
 }
 
 func (f *Farm) worker() {
@@ -259,8 +357,77 @@ func (f *Farm) worker() {
 		c := f.queue[0]
 		f.queue = f.queue[1:]
 		f.qmu.Unlock()
-		f.exec(c)
+		switch {
+		case c.cancelled.Load():
+			// Every waiter detached while the job was queued; the cancel
+			// path did not find it in the queue in time, so reap it here.
+			f.reap(c, context.Canceled)
+		case !c.deadline.IsZero() && time.Now().After(c.deadline):
+			f.reap(c, fmt.Errorf("farm: queued past its deadline: %w", context.DeadlineExceeded))
+		default:
+			f.exec(c)
+		}
 	}
+}
+
+// reap fails a call without executing it — cancellation, deadline expiry or
+// an abandoned shutdown queue — releasing every waiter still blocked on it.
+// Exactly one goroutine reaps a given call: removal from the queue (or the
+// decision not to execute after dequeue) is the exclusive hand-off.
+func (f *Farm) reap(c *call, err error) {
+	f.cmu.Lock()
+	if f.inflight[c.key] == c {
+		delete(f.inflight, c.key)
+	}
+	f.cmu.Unlock()
+	c.err = err
+	f.finishSpan(c, "cancelled")
+	f.statsMu.RLock()
+	f.cancelled.Add(1)
+	f.pending.Add(-1)
+	f.statsMu.RUnlock()
+	close(c.done)
+}
+
+// detach drops one waiter's reference to a call. When the last waiter
+// leaves, the call is cancelled and — if it is still waiting in the queue —
+// reaped immediately, so a disconnected client's jobs stop consuming
+// workers before one ever picks them up. A call already being executed
+// simply runs to completion (simulations cannot be interrupted); its result
+// lands in the cache for whoever asks next.
+func (f *Farm) detach(c *call) {
+	if c.waiters.Add(-1) != 0 {
+		return
+	}
+	f.cmu.Lock()
+	if c.waiters.Load() != 0 {
+		// A concurrent identical submission re-attached before the cancel
+		// could be made definitive; the call stays live.
+		f.cmu.Unlock()
+		return
+	}
+	c.cancelled.Store(true)
+	if f.inflight[c.key] == c {
+		delete(f.inflight, c.key)
+	}
+	f.cmu.Unlock()
+
+	f.qmu.Lock()
+	removed := false
+	for i, qc := range f.queue {
+		if qc == c {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	f.qmu.Unlock()
+	if removed {
+		f.reap(c, context.Canceled)
+	}
+	// Not in the queue: a worker already holds it and will either see the
+	// cancelled flag at dispatch and reap it, or is mid-execution and will
+	// finish normally.
 }
 
 // exec runs one call, publishes its result to the cache tiers and wakes
@@ -280,7 +447,9 @@ func (f *Farm) exec(c *call) {
 		if ok {
 			t = time.Now()
 			f.cmu.Lock()
-			delete(f.inflight, c.key)
+			if f.inflight[c.key] == c {
+				delete(f.inflight, c.key)
+			}
 			f.mem.Put(c.key, res)
 			f.cmu.Unlock()
 			c.span.Observe(telemetry.PhasePersist, time.Since(t))
@@ -304,7 +473,9 @@ func (f *Farm) exec(c *call) {
 	c.span.Observe(telemetry.PhaseCompute, time.Since(t))
 	t = time.Now()
 	f.cmu.Lock()
-	delete(f.inflight, c.key)
+	if f.inflight[c.key] == c {
+		delete(f.inflight, c.key)
+	}
 	if c.err == nil {
 		f.mem.Put(c.key, c.res)
 	}
@@ -320,9 +491,21 @@ func (f *Farm) exec(c *call) {
 		f.pending.Add(-1)
 		f.statsMu.RUnlock()
 	} else {
-		f.finishSpan(c, "error")
+		// A recovered simulator panic fails this job only: the worker
+		// survives, the sweep continues, and the panic is counted and
+		// annotated so the poisoned mapping is diagnosable after the fact.
+		var pe *PanicError
+		isPanic := errors.As(c.err, &pe)
+		source := "error"
+		if isPanic {
+			source = "panic"
+		}
+		f.finishSpan(c, source)
 		f.statsMu.RLock()
 		f.failed.Add(1)
+		if isPanic {
+			f.panics.Add(1)
+		}
 		f.pending.Add(-1)
 		f.statsMu.RUnlock()
 	}
@@ -337,6 +520,9 @@ func (f *Farm) finishSpan(c *call, source string) {
 	phaseSeconds.ObserveSpan(c.span)
 	if f.ring != nil || c.traced.Load() {
 		tr := c.span.Take(c.key, source)
+		if c.err != nil {
+			tr.Error = c.err.Error()
+		}
 		c.res.Trace = tr
 		f.ring.Add(tr)
 	}
@@ -345,8 +531,11 @@ func (f *Farm) finishSpan(c *call, source string) {
 }
 
 // Future is a handle to a submitted job. Wait blocks until the result is
-// available; it may be called from any goroutine, any number of times.
+// available; it may be called any number of times (sequentially — a Future
+// is not safe for concurrent use, though distinct Futures for the same job
+// are).
 type Future struct {
+	f   *Farm
 	c   *call
 	key string
 	res Result
@@ -370,6 +559,31 @@ func (fu *Future) Wait() (Result, error) {
 		res.Out = res.Out.Clone()
 	}
 	return res, nil
+}
+
+// WaitCtx blocks until the job finishes or ctx fires, whichever is first.
+// A context cancellation is terminal for this future: it returns ctx's
+// error and releases the future's interest in the job — when every waiter
+// has detached, a still-queued job is removed from the queue before any
+// worker picks it up, so cancelled sweeps free their queue slots instead of
+// running to completion for nobody. An execution already on a worker is not
+// interrupted; its result lands in the cache for future submissions.
+func (fu *Future) WaitCtx(ctx context.Context) (Result, error) {
+	if fu.c != nil {
+		select {
+		case <-fu.c.done:
+			return fu.Wait()
+		case <-ctx.Done():
+			c := fu.c
+			fu.c = nil
+			fu.err = ctx.Err()
+			if fu.f != nil {
+				fu.f.detach(c)
+			}
+			return Result{}, fu.err
+		}
+	}
+	return fu.Wait()
 }
 
 func resolvedFuture(key string, res Result, err error) *Future {
@@ -427,6 +641,7 @@ func (f *Farm) Submit(j Job) *Future {
 		return f.memHit(j, key, res, start, memLookup)
 	}
 	if c, ok := f.inflight[key]; ok {
+		c.waiters.Add(1) // under cmu, so it cannot race the cancel decision in detach
 		f.cmu.Unlock()
 		f.count(&f.deduped)
 		// The dedup phase of an attaching submission is its single-flight
@@ -436,9 +651,13 @@ func (f *Farm) Submit(j Job) *Future {
 		if j.Trace {
 			c.traced.Store(true)
 		}
-		return &Future{c: c, key: key}
+		return &Future{f: f, c: c, key: key}
 	}
 	c := &call{job: j, key: key, done: make(chan struct{}), span: telemetry.BeginSpan()}
+	c.waiters.Store(1)
+	if j.Deadline > 0 {
+		c.deadline = time.Now().Add(j.Deadline)
+	}
 	c.span.Observe(telemetry.PhaseMemLookup, memLookup)
 	c.traced.Store(j.Trace)
 	f.inflight[key] = c
@@ -446,30 +665,64 @@ func (f *Farm) Submit(j Job) *Future {
 	c.span.Observe(telemetry.PhaseDedup, time.Since(dedupStart))
 
 	f.qmu.Lock()
-	if f.closed {
+	if f.closed || (f.maxQueue > 0 && len(f.queue) >= f.maxQueue) {
+		rejected := !f.closed
 		f.qmu.Unlock()
 		f.cmu.Lock()
-		delete(f.inflight, key)
+		if f.inflight[key] == c {
+			delete(f.inflight, key)
+		}
 		f.cmu.Unlock()
-		f.count(&f.failed)
 		telemetry.EndSpan(c.span)
 		c.span = nil
 		// Complete the call rather than abandoning it: a concurrent
 		// identical Submit may already have attached to it as a waiter.
-		c.err = fmt.Errorf("farm: submit on closed farm")
+		if rejected {
+			f.count(&f.rejected)
+			c.err = fmt.Errorf("%w: %d jobs queued", ErrQueueFull, f.maxQueue)
+		} else {
+			f.count(&f.failed)
+			c.err = fmt.Errorf("submit rejected: %w", ErrFarmClosed)
+		}
 		close(c.done)
-		return &Future{c: c, key: key}
+		return &Future{f: f, c: c, key: key}
 	}
 	f.count(&f.pending)
 	c.enqueuedAt = time.Now()
 	f.queue = append(f.queue, c)
 	f.qcond.Signal()
 	f.qmu.Unlock()
-	return &Future{c: c, key: key}
+	return &Future{f: f, c: c, key: key}
+}
+
+// SubmitCtx enqueues a job bound to ctx: an already-cancelled context fails
+// immediately without touching the queue, a context deadline tightens the
+// job's own Deadline, and the returned future should be waited on with
+// WaitCtx so cancellation releases the job's queue slot. Cache hits resolve
+// instantly regardless of ctx, exactly like Submit.
+func (f *Farm) SubmitCtx(ctx context.Context, j Job) *Future {
+	if err := ctx.Err(); err != nil {
+		f.count(&f.submitted)
+		f.count(&f.cancelled)
+		return resolvedFuture("", Result{}, err)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(d); j.Deadline <= 0 || remaining < j.Deadline {
+			j.Deadline = remaining
+		}
+	}
+	return f.Submit(j)
 }
 
 // Do submits a job and blocks until its result is ready.
 func (f *Farm) Do(j Job) (Result, error) { return f.Submit(j).Wait() }
+
+// DoCtx submits a job bound to ctx and blocks until its result is ready or
+// ctx fires. Cancelling ctx frees the job's queue slot if no other waiter
+// shares it; see Future.WaitCtx for the exact semantics.
+func (f *Farm) DoCtx(ctx context.Context, j Job) (Result, error) {
+	return f.SubmitCtx(ctx, j).WaitCtx(ctx)
+}
 
 // DoBatch submits every job, waits for all of them, and returns the results
 // in submission order. The error is the first failure encountered (in
@@ -500,6 +753,16 @@ type Stats struct {
 	// Completed and Failed count finished executions (not cache hits).
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// Panics is the subset of Failed caused by simulator panics the workers
+	// recovered into per-job errors.
+	Panics int64 `json:"panics"`
+	// Cancelled counts jobs removed before execution: every waiter
+	// detached (context cancellation), the queue deadline passed, or a
+	// timed-out Shutdown abandoned them.
+	Cancelled int64 `json:"cancelled"`
+	// Rejected counts submissions refused fast with ErrQueueFull because
+	// the queue was at its WithMaxQueue bound.
+	Rejected int64 `json:"rejected"`
 	// Hits counts submissions served from either cache tier without a
 	// simulator execution; DiskHits is the subset answered by the
 	// persistent tier. Misses counts jobs that had to be simulated; Deduped
@@ -563,6 +826,9 @@ func (f *Farm) Stats() Stats {
 		Submitted:    f.submitted.Load(),
 		Completed:    f.completed.Load(),
 		Failed:       f.failed.Load(),
+		Panics:       f.panics.Load(),
+		Cancelled:    f.cancelled.Load(),
+		Rejected:     f.rejected.Load(),
 		Hits:         f.hits.Load(),
 		DiskHits:     f.diskHits.Load(),
 		Misses:       f.misses.Load(),
@@ -586,6 +852,9 @@ func (f *Farm) Stats() Stats {
 type Limits struct {
 	// Workers is the pool size.
 	Workers int `json:"workers"`
+	// MaxQueue bounds the job queue (0 = unbounded); at the bound, Submit
+	// fails fast with ErrQueueFull.
+	MaxQueue int `json:"max_queue"`
 	// MemMaxEntries and MemMaxBytes bound the in-memory result tier
 	// (0 = unbounded).
 	MemMaxEntries int   `json:"mem_max_entries"`
@@ -602,6 +871,7 @@ type Limits struct {
 func (f *Farm) Limits() Limits {
 	l := Limits{
 		Workers:       f.workers,
+		MaxQueue:      f.maxQueue,
 		MemMaxEntries: f.maxEntries,
 		MemMaxBytes:   f.maxBytes,
 	}

@@ -10,6 +10,8 @@ package farm
 
 import (
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/stonne/config"
@@ -111,6 +113,15 @@ type Job struct {
 	// cache entries on every tier.
 	Trace bool
 
+	// Deadline bounds how long the job may wait in the farm's queue: a job
+	// still queued when its deadline passes is removed before any worker
+	// picks it up and fails with context.DeadlineExceeded. Zero means no
+	// deadline. A deadline can only prevent a result from being computed,
+	// never change one, so Deadline — like ExecWorkers, Reference and Trace
+	// — deliberately does NOT participate in Key(): a deadlined submission
+	// that completes shares its cache entry with unbounded ones.
+	Deadline time.Duration
+
 	// pack is the shared content-keyed cache of derived operand forms the
 	// fused engines may reuse (packed weight panels, kernel matrices,
 	// layout transposes). The farm threads its own cache through here on
@@ -118,6 +129,13 @@ type Job struct {
 	// ExecWorkers and Reference it cannot change results — only where
 	// derived bytes come from — so it does NOT participate in Key().
 	pack *tensor.PackCache
+
+	// fault, when set, is invoked at the start of the simulator execution —
+	// the fault-injection seam the farmtest chaos harness uses to provoke
+	// panics and stalls inside workers. It observes execution only: a
+	// healthy job computes the same bytes with or without a hook, and like
+	// pack it does NOT participate in Key().
+	fault func()
 }
 
 // WithPackCache returns a copy of the job that will reuse derived operand
@@ -125,6 +143,16 @@ type Job struct {
 // ignore this and use the farm's shared cache instead.
 func (j Job) WithPackCache(pc *tensor.PackCache) Job {
 	j.pack = pc
+	return j
+}
+
+// WithFaultHook returns a copy of the job that calls fn when its simulator
+// execution begins. It exists for fault-injection tests: a hook that panics
+// exercises the farm's panic isolation, one that blocks holds a worker so
+// queue behaviour (backpressure, cancellation, drain) can be driven
+// deterministically. Production paths never set it.
+func (j Job) WithFaultHook(fn func()) Job {
+	j.fault = fn
 	return j
 }
 
@@ -153,11 +181,44 @@ type Result struct {
 	Trace *telemetry.Trace
 }
 
+// PanicError is a simulator panic recovered into a per-job error: the
+// panicking value plus the goroutine stack at the point of the panic. One
+// poisoned (architecture, layer, mapping) point fails its own job with a
+// *PanicError instead of taking down the process — and with it every other
+// job of a sweep or every other client of a server.
+type PanicError struct {
+	// Value is the value the simulator panicked with.
+	Value any
+	// Stack is the goroutine stack captured inside the recovering deferral.
+	Stack []byte
+}
+
+// Error implements error. The stack is included: a recovered panic is a
+// simulator bug, and the trace is the only evidence left once the job's
+// goroutine has moved on.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("farm: simulator panic: %v\n%s", e.Value, e.Stack)
+}
+
 // Run executes the job inline on the calling goroutine, with no farm, no
 // cache and no concurrency. Farm workers and the serial fallback paths both
 // funnel through here, which is what keeps farmed and serial runs
-// bit-identical.
-func Run(j Job) (Result, error) {
+// bit-identical. A simulator panic is recovered into a *PanicError, so a
+// poisoned job fails alone whether it runs inline or on a farm worker.
+func Run(j Job) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return run(j)
+}
+
+func run(j Job) (Result, error) {
+	if j.fault != nil {
+		j.fault()
+	}
 	cfg := j.HW.Normalize()
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err

@@ -1,0 +1,269 @@
+package farm
+
+import (
+	"sync"
+	"time"
+)
+
+// RetryPolicy configures a RetryStore: how hard it retries a transiently
+// failing operation, and when repeated failure quarantines the tier.
+type RetryPolicy struct {
+	// MaxRetries is how many times a failed Get or Put is re-attempted
+	// beyond the first try. 0 disables retries (the breaker still works).
+	MaxRetries int
+
+	// BaseDelay is the back-off before the first retry; each further retry
+	// doubles it, capped at MaxDelay. A non-positive BaseDelay retries
+	// immediately.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	// TripAfter is how many consecutive operations must exhaust their
+	// retries before the health breaker opens and quarantines the tier;
+	// values < 1 trip on the first such failure.
+	TripAfter int
+
+	// ProbeEvery is how often an open breaker lets one real operation
+	// through to probe the tier. A successful probe closes the breaker; a
+	// failed one re-arms the timer. Non-positive values use 1s.
+	ProbeEvery time.Duration
+}
+
+// DefaultRetryPolicy returns the policy bifrost-serve uses for its disk
+// tier: a few quick retries (transient errors on a local filesystem either
+// clear in milliseconds or not at all), a breaker that trips after three
+// consecutively failed operations, and a probe every two seconds.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxRetries: 2,
+		BaseDelay:  2 * time.Millisecond,
+		MaxDelay:   50 * time.Millisecond,
+		TripAfter:  3,
+		ProbeEvery: 2 * time.Second,
+	}
+}
+
+// RetryStore wraps a fallible Store (typically a *DiskStore) with transient
+// fault tolerance:
+//
+//   - A failed Get or Put is retried with bounded exponential back-off —
+//     a brief I/O hiccup costs latency, never a recomputed or lost result.
+//   - A tier that keeps failing is quarantined by a health breaker: after
+//     TripAfter consecutive exhausted operations the store goes degraded,
+//     answering every Get with an instant miss and dropping every Put, so a
+//     dying disk cannot stall the farm's workers. The farm keeps producing
+//     byte-identical results from its memory tier and fresh simulation.
+//   - While degraded, one operation per ProbeEvery interval is let through
+//     as a probe; the first success closes the breaker and the tier
+//     resumes normal service, re-populated by the write-through traffic.
+//
+// If the wrapped store does not implement FallibleStore it cannot report
+// failure, so RetryStore degenerates to a plain pass-through. The optional
+// capabilities the farm probes for — entry streaming for Warm, Dir and
+// MaxBytes for Limits — are forwarded to the wrapped store.
+type RetryStore struct {
+	inner  Store
+	fal    FallibleStore // nil when inner cannot surface errors
+	policy RetryPolicy
+
+	// now and sleep are the clock seams the fault-injection tests use to
+	// drive breaker timing deterministically; production uses the real ones.
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	mu        sync.Mutex
+	failures  int       // consecutive operations that exhausted their retries
+	open      bool      // breaker state: open = quarantined
+	nextProbe time.Time // earliest moment an open breaker admits a probe
+	retries   int64
+	trips     int64
+}
+
+// NewRetryStore wraps inner with policy. The wrapper owns inner: closing
+// the RetryStore closes it.
+func NewRetryStore(inner Store, policy RetryPolicy) *RetryStore {
+	if policy.ProbeEvery <= 0 {
+		policy.ProbeEvery = time.Second
+	}
+	fal, _ := inner.(FallibleStore)
+	return &RetryStore{
+		inner:  inner,
+		fal:    fal,
+		policy: policy,
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}
+}
+
+// admit reports whether an operation may touch the wrapped store right now:
+// always when the breaker is closed, and once per probe interval when open.
+func (rs *RetryStore) admit() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.open {
+		return true
+	}
+	if now := rs.now(); !now.Before(rs.nextProbe) {
+		rs.nextProbe = now.Add(rs.policy.ProbeEvery) // claim this probe slot
+		return true
+	}
+	return false
+}
+
+// ok records a successful operation (including a successful probe), closing
+// the breaker and resetting the failure streak.
+func (rs *RetryStore) ok() {
+	rs.mu.Lock()
+	rs.failures = 0
+	rs.open = false
+	rs.mu.Unlock()
+}
+
+// fail records an operation that exhausted its retries, tripping the
+// breaker once the streak reaches the policy's threshold.
+func (rs *RetryStore) fail() {
+	rs.mu.Lock()
+	rs.failures++
+	trip := rs.policy.TripAfter
+	if trip < 1 {
+		trip = 1
+	}
+	if rs.failures >= trip && !rs.open {
+		rs.open = true
+		rs.trips++
+	}
+	if rs.open {
+		rs.nextProbe = rs.now().Add(rs.policy.ProbeEvery)
+	}
+	rs.mu.Unlock()
+}
+
+// backoff returns the delay before retry attempt (0-based), doubling from
+// BaseDelay and capped at MaxDelay.
+func (rs *RetryStore) backoff(attempt int) time.Duration {
+	d := rs.policy.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if rs.policy.MaxDelay > 0 && d >= rs.policy.MaxDelay {
+			return rs.policy.MaxDelay
+		}
+	}
+	if rs.policy.MaxDelay > 0 && d > rs.policy.MaxDelay {
+		d = rs.policy.MaxDelay
+	}
+	return d
+}
+
+// Degraded reports whether the breaker is open — the tier is quarantined
+// and the farm is running memory-only.
+func (rs *RetryStore) Degraded() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.open
+}
+
+// Get implements Store. A quarantined tier answers an instant miss; a
+// clean miss (the key genuinely is not stored) counts as a healthy
+// operation and closes an open breaker, because the tier proved it can
+// answer.
+func (rs *RetryStore) Get(key string) (Result, bool) {
+	if rs.fal == nil {
+		return rs.inner.Get(key)
+	}
+	if !rs.admit() {
+		return Result{}, false
+	}
+	for attempt := 0; ; attempt++ {
+		res, ok, err := rs.fal.GetErr(key)
+		if err == nil {
+			rs.ok()
+			return res, ok
+		}
+		if attempt >= rs.policy.MaxRetries {
+			rs.fail()
+			return Result{}, false
+		}
+		rs.count(func() { rs.retries++ })
+		rs.sleep(rs.backoff(attempt))
+	}
+}
+
+// Put implements Store. A quarantined tier drops the write — the result
+// stays correct in the memory tier and is re-persisted by later traffic
+// once the disk recovers.
+func (rs *RetryStore) Put(key string, res Result) {
+	if rs.fal == nil {
+		rs.inner.Put(key, res)
+		return
+	}
+	if !rs.admit() {
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		err := rs.fal.PutErr(key, res)
+		if err == nil {
+			rs.ok()
+			return
+		}
+		if attempt >= rs.policy.MaxRetries {
+			rs.fail()
+			return
+		}
+		rs.count(func() { rs.retries++ })
+		rs.sleep(rs.backoff(attempt))
+	}
+}
+
+func (rs *RetryStore) count(f func()) {
+	rs.mu.Lock()
+	f()
+	rs.mu.Unlock()
+}
+
+// Stats implements Store: the wrapped tier's counters annotated with the
+// wrapper's retry, trip and quarantine state.
+func (rs *RetryStore) Stats() StoreStats {
+	st := rs.inner.Stats()
+	rs.mu.Lock()
+	st.Retries = rs.retries
+	st.Trips = rs.trips
+	st.Degraded = rs.open
+	rs.mu.Unlock()
+	return st
+}
+
+// Close implements Store, closing the wrapped tier.
+func (rs *RetryStore) Close() error { return rs.inner.Close() }
+
+// Entries forwards the Warm streaming capability when the wrapped store has
+// it; a quarantined tier streams nothing (warming must not stall on a dying
+// disk).
+func (rs *RetryStore) Entries(newest int, newestBytes int64, fn func(key string, res Result) bool) {
+	if rs.Degraded() {
+		return
+	}
+	if lister, ok := rs.inner.(interface {
+		Entries(newest int, newestBytes int64, fn func(key string, res Result) bool)
+	}); ok {
+		lister.Entries(newest, newestBytes, fn)
+	}
+}
+
+// Dir forwards the wrapped store's directory for Limits reporting.
+func (rs *RetryStore) Dir() string {
+	if d, ok := rs.inner.(interface{ Dir() string }); ok {
+		return d.Dir()
+	}
+	return ""
+}
+
+// MaxBytes forwards the wrapped store's byte bound for Limits reporting.
+func (rs *RetryStore) MaxBytes() int64 {
+	if mb, ok := rs.inner.(interface{ MaxBytes() int64 }); ok {
+		return mb.MaxBytes()
+	}
+	return 0
+}

@@ -33,6 +33,24 @@ type Store interface {
 	Close() error
 }
 
+// FallibleStore is the optional error-surfacing capability of a Store. The
+// plain Get/Put contract absorbs storage failures (a damaged entry is a
+// miss, a failed write is a skipped write), which is right for the farm —
+// but a reliability wrapper like RetryStore needs to see the failures to
+// retry them and to track the tier's health. *DiskStore implements it;
+// purely in-memory tiers, which cannot fail, do not.
+type FallibleStore interface {
+	// GetErr is Get with the storage error surfaced. A missing entry is
+	// (Result{}, false, nil) — not an error; a corrupt entry that was
+	// dropped for recompute is likewise a clean miss. err != nil means the
+	// tier could not currently answer (I/O failure), and ok is false.
+	GetErr(key string) (Result, bool, error)
+
+	// PutErr is Put with the storage error surfaced: err != nil means the
+	// result is not durably stored.
+	PutErr(key string, res Result) error
+}
+
 // StoreStats is a snapshot of one cache tier's counters.
 type StoreStats struct {
 	// Entries and Bytes describe what the tier currently holds.
@@ -50,6 +68,18 @@ type StoreStats struct {
 	// Errors counts I/O failures, each treated as a miss or a skipped
 	// write, never surfaced to callers.
 	Errors int64 `json:"errors,omitempty"`
+	// DeleteErrors counts failed removals of corrupt or evicted entries —
+	// entries that should be gone but may still occupy disk.
+	DeleteErrors int64 `json:"delete_errors,omitempty"`
+	// Retries counts operations a RetryStore wrapper re-attempted after a
+	// transient failure; Trips counts the times its health breaker opened.
+	Retries int64 `json:"retries,omitempty"`
+	Trips   int64 `json:"trips,omitempty"`
+	// Degraded reports a quarantined tier: its health breaker is open, so
+	// lookups answer miss and writes are dropped until a probe succeeds.
+	// The farm keeps answering — correctly, from memory and fresh
+	// simulation — while the tier recovers.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // HitRatio returns the tier's hits over lookups (0 when never consulted) —

@@ -26,6 +26,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -145,6 +146,12 @@ type JobRequest struct {
 	// results or cache keys; the server's -trace flag turns it on for
 	// every request.
 	Trace bool `json:"trace,omitempty"`
+	// TimeoutMS bounds the job in milliseconds: a job still unanswered when
+	// the timeout passes fails with a deadline error (HTTP 504) instead of
+	// occupying the queue. 0 inherits the server's -job-timeout default;
+	// a negative value disables the deadline for this job. Timeouts never
+	// change results or cache keys — only whether one is produced.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Job compiles the request into a farm job.
@@ -250,6 +257,11 @@ type JobResponse struct {
 	// "trace": true or the server runs with -trace.
 	Trace *telemetry.Trace `json:"trace,omitempty"`
 	Error string           `json:"error,omitempty"`
+
+	// err keeps the typed error for HTTP status mapping (429 on
+	// backpressure, 504 on deadline, 503 on shutdown); Error carries its
+	// message to the client.
+	err error
 }
 
 // Server routes simulation requests into a farm.
@@ -257,6 +269,7 @@ type Server struct {
 	farm        *farm.Farm
 	mux         *http.ServeMux
 	execWorkers int
+	jobTimeout  time.Duration
 
 	logger   *slog.Logger
 	traceAll bool
@@ -275,6 +288,12 @@ type ServerOption func(*Server)
 // requests that leave the field unset (0). The server default keeps 0
 // meaning the serial kernel, matching the farm's own default.
 func WithExecWorkers(n int) ServerOption { return func(s *Server) { s.execWorkers = n } }
+
+// WithJobTimeout sets the default per-job deadline applied to requests that
+// leave timeout_ms unset (0 disables the default). A job that outlives its
+// deadline fails with HTTP 504; if it was still queued the farm removes it
+// so it never occupies a worker.
+func WithJobTimeout(d time.Duration) ServerOption { return func(s *Server) { s.jobTimeout = d } }
 
 // WithLogger sets the structured request logger (default slog.Default()).
 func WithLogger(l *slog.Logger) ServerOption { return func(s *Server) { s.logger = l } }
@@ -389,8 +408,10 @@ func (s *Server) instrument(endpoint string, hist *telemetry.Histogram, h http.H
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// run executes one request through the farm and shapes the response.
-func (s *Server) run(req JobRequest) JobResponse {
+// run executes one request through the farm and shapes the response. ctx is
+// the request context: a client that disconnects mid-sweep cancels its
+// still-queued jobs so they never occupy a worker.
+func (s *Server) run(ctx context.Context, req JobRequest) JobResponse {
 	start := time.Now()
 	if req.ExecWorkers == 0 {
 		req.ExecWorkers = s.execWorkers
@@ -401,13 +422,27 @@ func (s *Server) run(req JobRequest) JobResponse {
 	req.Trace = echoTrace || s.slowJob > 0
 	job, err := req.Job()
 	if err != nil {
-		return JobResponse{Error: err.Error(), ElapsedMS: msSince(start)}
+		return JobResponse{Error: err.Error(), ElapsedMS: msSince(start), err: err}
 	}
-	res, err := s.farm.Do(job)
+	switch {
+	case req.TimeoutMS > 0:
+		job.Deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+	case req.TimeoutMS == 0:
+		job.Deadline = s.jobTimeout
+	}
+	if job.Deadline > 0 {
+		// Bound the wait as well as the queue time: a job already executing
+		// when the deadline passes keeps running (its result still feeds the
+		// cache and any other waiters), but this caller gets its 504 on time.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.Deadline)
+		defer cancel()
+	}
+	res, err := s.farm.DoCtx(ctx, job)
 	elapsed := time.Since(start)
 	if err != nil {
 		key, _ := job.Key() // best effort: name the job even on failure
-		return JobResponse{Key: key, Error: err.Error(), ElapsedMS: telemetry.MS(elapsed)}
+		return JobResponse{Key: key, Error: err.Error(), ElapsedMS: telemetry.MS(elapsed), err: err}
 	}
 	if s.slowJob > 0 && elapsed >= s.slowJob {
 		s.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow job",
@@ -460,12 +495,41 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, JobResponse{Error: "decoding job: " + err.Error()})
 		return
 	}
-	resp := s.run(req)
+	resp := s.run(r.Context(), req)
 	status := http.StatusOK
-	if resp.Error != "" {
+	switch {
+	case resp.Error == "":
+	case errors.Is(resp.err, farm.ErrQueueFull):
+		// Backpressure: the queue bound rejected the job before it cost
+		// anything. Tell the client when to come back — a queue this deep
+		// drains at roughly worker rate, so scale the hint with the depth.
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+	case errors.Is(resp.err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(resp.err, farm.ErrFarmClosed), errors.Is(resp.err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	default:
 		status = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, status, resp)
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the live queue
+// depth: an empty-ish queue suggests an immediate retry, a deep one scales
+// the wait with how many worker-rounds it takes to drain, capped so a
+// pathological backlog never tells clients to go away for minutes.
+func (s *Server) retryAfterSeconds() int64 {
+	st := s.farm.Stats()
+	workers := int64(st.Workers)
+	if workers < 1 {
+		workers = 1
+	}
+	secs := 1 + st.Queued/(4*workers)
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // BatchRequest is the JSON form of a sweep.
@@ -520,7 +584,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if ndjson {
-		s.streamBatch(w, reqs)
+		s.streamBatch(w, r.Context(), reqs)
 		return
 	}
 
@@ -528,6 +592,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// simulation concurrency, while this semaphore caps how many jobs have
 	// their operand tensors materialised at once — without it a huge sweep
 	// would allocate every operand up front regardless of worker count.
+	// The request context rides along: a client that disconnects cancels
+	// every still-queued job of its sweep, freeing the farm for others.
 	results := make([]JobResponse, len(reqs))
 	sem := make(chan struct{}, 2*s.farm.Workers())
 	var wg sync.WaitGroup
@@ -536,7 +602,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		sem <- struct{}{}
 		go func(i int, req JobRequest) {
 			defer func() { <-sem; wg.Done() }()
-			results[i] = s.run(req)
+			results[i] = s.run(r.Context(), req)
 		}(i, req)
 	}
 	wg.Wait()
@@ -549,7 +615,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // (lines stay in submission order — the NDJSON contract), and flushed
 // per-result, so a slow sweep delivers results as they complete instead of
 // buffering the whole batch.
-func (s *Server) streamBatch(w http.ResponseWriter, reqs []JobRequest) {
+func (s *Server) streamBatch(w http.ResponseWriter, ctx context.Context, reqs []JobRequest) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	fl, _ := w.(http.Flusher)
 
@@ -561,7 +627,7 @@ func (s *Server) streamBatch(w http.ResponseWriter, reqs []JobRequest) {
 			sem <- struct{}{}
 			go func(i int, req JobRequest) {
 				defer func() { <-sem }()
-				results[i] = s.run(req)
+				results[i] = s.run(ctx, req)
 				done <- i
 			}(i, req)
 		}
@@ -675,6 +741,9 @@ func (s *Server) writeFarmMetrics(w io.Writer) {
 	telemetry.WriteSamples(w, "bifrost_farm_submitted_total", "Jobs handed to the farm.", "counter", one(float64(st.Submitted))...)
 	telemetry.WriteSamples(w, "bifrost_farm_completed_total", "Simulator executions finished.", "counter", one(float64(st.Completed))...)
 	telemetry.WriteSamples(w, "bifrost_farm_failed_total", "Simulator executions failed.", "counter", one(float64(st.Failed))...)
+	telemetry.WriteSamples(w, "bifrost_farm_panics_total", "Simulator panics recovered into per-job errors.", "counter", one(float64(st.Panics))...)
+	telemetry.WriteSamples(w, "bifrost_farm_cancelled_total", "Jobs cancelled, deadline-expired or abandoned by shutdown before execution.", "counter", one(float64(st.Cancelled))...)
+	telemetry.WriteSamples(w, "bifrost_farm_rejected_total", "Submissions refused by the queue bound (backpressure).", "counter", one(float64(st.Rejected))...)
 	telemetry.WriteSamples(w, "bifrost_farm_hits_total", "Submissions served from cache.", "counter", one(float64(st.Hits))...)
 	telemetry.WriteSamples(w, "bifrost_farm_disk_hits_total", "Cache hits answered by the disk tier.", "counter", one(float64(st.DiskHits))...)
 	telemetry.WriteSamples(w, "bifrost_farm_misses_total", "Submissions that required a simulation.", "counter", one(float64(st.Misses))...)
@@ -708,6 +777,25 @@ func (s *Server) writeFarmMetrics(w io.Writer) {
 	family("corrupt_total", "Entries dropped as corrupt.", "counter", func(s farm.StoreStats) float64 { return float64(s.Corrupt) })
 	family("errors_total", "Tier I/O errors.", "counter", func(s farm.StoreStats) float64 { return float64(s.Errors) })
 	family("hit_ratio", "Tier lookup hit ratio.", "gauge", farm.StoreStats.HitRatio)
+	if st.Disk != nil {
+		d := *st.Disk
+		telemetry.WriteSamples(w, "bifrost_farm_disk_errors_total",
+			"Disk tier I/O failures: failed reads and writes plus failed deletes of corrupt or evicted entries.",
+			"counter", one(float64(d.Errors+d.DeleteErrors))...)
+		telemetry.WriteSamples(w, "bifrost_farm_disk_retries_total",
+			"Disk operations re-attempted after a transient failure.",
+			"counter", one(float64(d.Retries))...)
+		telemetry.WriteSamples(w, "bifrost_farm_disk_breaker_trips_total",
+			"Times the disk tier's health breaker opened.",
+			"counter", one(float64(d.Trips))...)
+		degraded := 0.0
+		if d.Degraded {
+			degraded = 1
+		}
+		telemetry.WriteSamples(w, "bifrost_farm_disk_degraded",
+			"1 while the disk tier is quarantined (farm serving memory-only).",
+			"gauge", one(degraded)...)
+	}
 
 	pk := st.Pack
 	telemetry.WriteSamples(w, "bifrost_pack_cache_entries", "Packed operands held.", "gauge", one(float64(pk.Entries))...)

@@ -141,9 +141,14 @@ type Trace struct {
 	// Key is the job's content-addressed cache key.
 	Key string `json:"key,omitempty"`
 	// Source says which path produced the result: "memory", "disk",
-	// "compute", "dedup" (attached to an identical in-flight execution) or
-	// "error".
+	// "compute", "dedup" (attached to an identical in-flight execution),
+	// "error", "panic" (a simulator panic recovered into a per-job error)
+	// or "cancelled" (removed from the queue by cancellation, deadline
+	// expiry or shutdown before a worker executed it).
 	Source string `json:"source"`
+	// Error is the job's failure message, present only for failed, panicked
+	// or cancelled submissions.
+	Error string `json:"error,omitempty"`
 	// Per-phase wall-clock durations in milliseconds; zero phases are
 	// omitted (a memory hit has no compute phase).
 	EnqueueWaitMS float64 `json:"enqueue_wait_ms,omitempty"`
