@@ -55,6 +55,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"log/slog"
 	"net/http"
@@ -62,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,6 +72,93 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
+
+// parsePeers decodes the -peers flag: comma-separated name=url entries,
+// with the name derived from the URL host when omitted.
+func parsePeers(s string) ([]serve.Peer, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var peers []serve.Peer
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rawurl, ok := strings.Cut(part, "=")
+		if !ok {
+			rawurl = part
+			name = strings.TrimPrefix(strings.TrimPrefix(part, "https://"), "http://")
+		}
+		name, rawurl = strings.TrimSpace(name), strings.TrimSpace(rawurl)
+		if name == "" || rawurl == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=url)", part)
+		}
+		if !strings.Contains(rawurl, "://") {
+			rawurl = "http://" + rawurl
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate peer name %q in -peers", name)
+		}
+		seen[name] = true
+		peers = append(peers, serve.Peer{Name: name, URL: strings.TrimRight(rawurl, "/")})
+	}
+	return peers, nil
+}
+
+// chainStore composes remote tiers: lookups try each peer in order (first
+// hit wins), stores replicate to all, so any one reachable peer can answer.
+func chainStore(tiers []farm.Store) farm.Store {
+	if len(tiers) == 1 {
+		return tiers[0]
+	}
+	return chainedStore(tiers)
+}
+
+type chainedStore []farm.Store
+
+func (c chainedStore) Get(key string) (farm.Result, bool) {
+	for _, s := range c {
+		if res, ok := s.Get(key); ok {
+			return res, true
+		}
+	}
+	return farm.Result{}, false
+}
+
+func (c chainedStore) Put(key string, res farm.Result) {
+	for _, s := range c {
+		s.Put(key, res)
+	}
+}
+
+func (c chainedStore) Stats() farm.StoreStats {
+	var agg farm.StoreStats
+	for _, s := range c {
+		st := s.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Puts += st.Puts
+		agg.Corrupt += st.Corrupt
+		agg.Errors += st.Errors
+		agg.Retries += st.Retries
+		agg.Trips += st.Trips
+		agg.Degraded = agg.Degraded || st.Degraded
+	}
+	return agg
+}
+
+func (c chainedStore) Close() error {
+	var first error
+	for _, s := range c {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 func main() {
 	log.SetFlags(0)
@@ -92,8 +181,19 @@ func main() {
 		traceRing  = flag.Int("traces", 256, "recent lifecycle traces retained for GET /debug/traces (0 = disabled)")
 		logJSON    = flag.Bool("log-json", false, "emit structured request logs as JSON instead of text")
 		logLevel   = flag.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
+		peersFlag  = flag.String("peers", "", "comma-separated peer list for coordinator mode, each name=url (e.g. node1=http://10.0.0.1:8087,node2=http://10.0.0.2:8087); jobs are consistent-hashed across peers with the local farm as fallback")
+		coord      = flag.Bool("coordinator", false, "require coordinator mode: fail startup if -peers is empty instead of silently running single-node")
+		peerStore  = flag.String("peer-store", "", "comma-separated peer base URLs mounted as a remote cache tier behind the local farm (read/replicate results over the peer wire protocol)")
 	)
 	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *coord && len(peers) == 0 {
+		log.Fatal("-coordinator requires a non-empty -peers list")
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -116,6 +216,9 @@ func main() {
 	if *traceRing > 0 {
 		opts = append(opts, farm.WithTraceRing(telemetry.NewTraceRing(*traceRing)))
 	}
+	if *cacheDir != "" && *peerStore != "" {
+		log.Fatal("-cache-dir and -peer-store both claim the persistent tier; configure one")
+	}
 	if *cacheDir != "" {
 		ds, err := farm.NewDiskStore(*cacheDir, *diskMax)
 		if err != nil {
@@ -129,6 +232,25 @@ func main() {
 		log.Printf("persistent cache at %s (%d entries, %d bytes warm)",
 			ds.Dir(), ds.Stats().Entries, ds.Stats().Bytes)
 	}
+	if *peerStore != "" {
+		// Remote cache tier: each peer sits behind its own retry wrapper, so
+		// an unreachable peer is retried, quarantined and re-probed exactly
+		// like a failing disk while the farm keeps answering locally.
+		var tiers []farm.Store
+		for _, u := range strings.Split(*peerStore, ",") {
+			if u = strings.TrimSpace(u); u == "" {
+				continue
+			}
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			tiers = append(tiers, farm.NewRetryStore(farm.NewPeerStore(strings.TrimRight(u, "/")), farm.DefaultRetryPolicy()))
+		}
+		if len(tiers) > 0 {
+			opts = append(opts, farm.WithDiskStore(chainStore(tiers)))
+			log.Printf("remote cache tier over %d peer(s)", len(tiers))
+		}
+	}
 	if *warm && *cacheDir == "" {
 		log.Fatal("-cache-warm requires -cache-dir")
 	}
@@ -137,13 +259,18 @@ func main() {
 		n := fm.Warm()
 		log.Printf("warmed %d cached results into memory", n)
 	}
-	api := serve.NewServer(fm,
+	sopts := []serve.ServerOption{
 		serve.WithExecWorkers(*execW),
 		serve.WithJobTimeout(*jobTimeout),
 		serve.WithLogger(logger),
 		serve.WithTraceAll(*traceAll),
 		serve.WithSlowJobThreshold(*slowJob),
-	)
+	}
+	if len(peers) > 0 {
+		sopts = append(sopts, serve.WithPeers(peers))
+		log.Printf("coordinator mode over %d peer(s)", len(peers))
+	}
+	api := serve.NewServer(fm, sopts...)
 	if *pprofAddr != "" {
 		// The pprof import registers its handlers on the default mux;
 		// mounting /metrics beside them gives operators one private side

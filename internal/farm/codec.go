@@ -32,6 +32,21 @@ const (
 	codecVersion = 1
 )
 
+// CodecVersion is the result-frame codec version, exported so the peer wire
+// protocol can handshake on it: a peer speaking a different frame encoding
+// must answer miss, never hand over bytes the other side would decode under
+// the wrong rules.
+const CodecVersion = codecVersion
+
+// EncodeResult serialises a Result into the versioned CRC-framed byte form
+// shared by the disk tier and the peer wire protocol.
+func EncodeResult(res Result) []byte { return encodeResult(res) }
+
+// DecodeResult parses an encoded result frame, verifying magic, version,
+// length and checksum end to end; any damage returns an error, which
+// callers treat as a cache miss.
+func DecodeResult(b []byte) (Result, error) { return decodeResult(b) }
+
 // encodeResult serialises a Result (Stats and output tensor; the Hit, Key
 // and Trace fields are transport state owned by the farm and are not
 // persisted).

@@ -64,8 +64,12 @@ type Farm struct {
 	maxBytes   int64
 	maxQueue   int
 
-	qmu    sync.Mutex
-	qcond  *sync.Cond
+	qmu   sync.Mutex
+	qcond *sync.Cond
+	// qspace wakes SubmitWait callers blocked on a full bounded queue; it is
+	// signalled whenever a queue slot frees (dequeue, cancellation removal,
+	// shutdown abandonment) and broadcast on close.
+	qspace *sync.Cond
 	queue  []*call
 	closed bool
 	wg     sync.WaitGroup
@@ -122,7 +126,8 @@ func WithMaxBytes(b int64) Option { return func(f *Farm) { f.maxBytes = b } }
 
 // WithMaxQueue bounds the job queue to n waiting jobs; when full, Submit
 // fails fast with ErrQueueFull instead of accepting work the farm cannot
-// serve. n <= 0 (the default) leaves the queue unbounded. Cache hits and
+// serve, while SubmitWait (and therefore DoBatch) blocks until a slot
+// frees. n <= 0 (the default) leaves the queue unbounded. Cache hits and
 // single-flight attaches never consume queue slots, so a warm sweep is
 // unaffected by the bound.
 func WithMaxQueue(n int) Option { return func(f *Farm) { f.maxQueue = n } }
@@ -217,6 +222,7 @@ func New(workers int, opts ...Option) *Farm {
 		f.pack = tensor.NewPackCache(tensor.DefaultPackCacheEntries, tensor.DefaultPackCacheBytes)
 	}
 	f.qcond = sync.NewCond(&f.qmu)
+	f.qspace = sync.NewCond(&f.qmu)
 	f.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go f.worker()
@@ -286,6 +292,7 @@ func (f *Farm) Close() {
 	}
 	f.closed = true
 	f.qcond.Broadcast()
+	f.qspace.Broadcast()
 	f.qmu.Unlock()
 	f.wg.Wait()
 	f.closeTiers()
@@ -303,6 +310,7 @@ func (f *Farm) Shutdown(ctx context.Context) error {
 	f.qmu.Lock()
 	f.closed = true
 	f.qcond.Broadcast()
+	f.qspace.Broadcast()
 	f.qmu.Unlock()
 
 	drained := make(chan struct{})
@@ -322,6 +330,7 @@ func (f *Farm) Shutdown(ctx context.Context) error {
 		abandoned := f.queue
 		f.queue = nil
 		f.qcond.Broadcast()
+		f.qspace.Broadcast()
 		f.qmu.Unlock()
 		for _, c := range abandoned {
 			f.reap(c, fmt.Errorf("shutdown deadline passed: %w", ErrFarmClosed))
@@ -356,6 +365,7 @@ func (f *Farm) worker() {
 		}
 		c := f.queue[0]
 		f.queue = f.queue[1:]
+		f.qspace.Signal()
 		f.qmu.Unlock()
 		switch {
 		case c.cancelled.Load():
@@ -418,6 +428,7 @@ func (f *Farm) detach(c *call) {
 		if qc == c {
 			f.queue = append(f.queue[:i], f.queue[i+1:]...)
 			removed = true
+			f.qspace.Signal()
 			break
 		}
 	}
@@ -613,8 +624,23 @@ func (f *Farm) memHit(j Job, key string, res Result, start time.Time, lookup tim
 
 // Submit enqueues a job and returns immediately with a Future. Cache hits
 // resolve instantly; a job identical to one already queued or running
-// attaches to that execution instead of enqueueing a second one.
-func (f *Farm) Submit(j Job) *Future {
+// attaches to that execution instead of enqueueing a second one. When the
+// queue is at its WithMaxQueue bound the submission fails fast with
+// ErrQueueFull; a caller prepared to wait out the backpressure should use
+// SubmitWait instead.
+func (f *Farm) Submit(j Job) *Future { return f.submit(j, false) }
+
+// SubmitWait enqueues like Submit but absorbs backpressure instead of
+// surfacing it: when the queue is at its WithMaxQueue bound, SubmitWait
+// blocks until a worker frees a slot (or the farm closes) rather than
+// failing with ErrQueueFull. Cache hits and single-flight attaches still
+// resolve instantly — they never consume queue slots. This is the
+// submission pace DoBatch uses, so a bounded queue sheds concurrent
+// overload without fast-failing the tail of a batch whose caller is
+// blocked and ready to wait.
+func (f *Farm) SubmitWait(j Job) *Future { return f.submit(j, true) }
+
+func (f *Farm) submit(j Job, block bool) *Future {
 	f.count(&f.submitted)
 	key, err := j.Key()
 	if err != nil {
@@ -665,6 +691,14 @@ func (f *Farm) Submit(j Job) *Future {
 	c.span.Observe(telemetry.PhaseDedup, time.Since(dedupStart))
 
 	f.qmu.Lock()
+	if block {
+		// Queue-paced submission: wait for a slot instead of rejecting. The
+		// workers drain the queue independently of this goroutine, so the
+		// wait always makes progress; a close releases every waiter.
+		for !f.closed && f.maxQueue > 0 && len(f.queue) >= f.maxQueue {
+			f.qspace.Wait()
+		}
+	}
 	if f.closed || (f.maxQueue > 0 && len(f.queue) >= f.maxQueue) {
 		rejected := !f.closed
 		f.qmu.Unlock()
@@ -714,6 +748,38 @@ func (f *Farm) SubmitCtx(ctx context.Context, j Job) *Future {
 	return f.Submit(j)
 }
 
+// CacheGet consults the farm's cache tiers without scheduling anything: the
+// memory tier first, then the disk tier, promoting a disk hit into memory
+// exactly like a worker would. It is the lookup behind the peer wire
+// protocol (PeerHandler): a remote node asking "do you already have this
+// result" must never trigger a local simulation.
+func (f *Farm) CacheGet(key string) (Result, bool) {
+	if res, ok := f.mem.Get(key); ok {
+		return res, true
+	}
+	if f.disk != nil {
+		if res, ok := f.disk.Get(key); ok {
+			f.cmu.Lock()
+			f.mem.Put(key, res)
+			f.cmu.Unlock()
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// CachePut stores a result under key into every tier — the write half of
+// the peer wire protocol, letting a remote node replicate a result it
+// computed so later CacheGet probes here answer without simulating.
+func (f *Farm) CachePut(key string, res Result) {
+	f.cmu.Lock()
+	f.mem.Put(key, res)
+	f.cmu.Unlock()
+	if f.disk != nil {
+		f.disk.Put(key, res)
+	}
+}
+
 // Do submits a job and blocks until its result is ready.
 func (f *Farm) Do(j Job) (Result, error) { return f.Submit(j).Wait() }
 
@@ -727,10 +793,18 @@ func (f *Farm) DoCtx(ctx context.Context, j Job) (Result, error) {
 // DoBatch submits every job, waits for all of them, and returns the results
 // in submission order. The error is the first failure encountered (in
 // order); successful entries are still populated.
+//
+// Submission runs at queue pace: with a WithMaxQueue bound configured,
+// DoBatch blocks at the bound until a worker frees a slot instead of
+// fast-failing the batch's tail with ErrQueueFull — the caller is already
+// committed to waiting for the whole batch, so rejecting jobs it would
+// happily wait for silently poisons sweeps. A batch of any size therefore
+// completes with zero rejections on an otherwise idle farm; concurrent
+// Submit traffic still sheds fast at the bound.
 func (f *Farm) DoBatch(jobs []Job) ([]Result, error) {
 	futures := make([]*Future, len(jobs))
 	for i, j := range jobs {
-		futures[i] = f.Submit(j)
+		futures[i] = f.SubmitWait(j)
 	}
 	results := make([]Result, len(jobs))
 	var firstErr error

@@ -1,0 +1,169 @@
+package farmtest
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+)
+
+// FaultTransport injects network faults at the http.RoundTripper level —
+// beneath the peer store, above the real transport — so the chaos suites
+// exercise exactly what a flaky network does to the peer wire protocol:
+// requests that never arrive, responses corrupted in flight, and latency
+// spikes. Same policy shape and seeded-PRNG determinism as FaultStore.
+//
+// An ErrRate draw fails the round trip with ErrInjected (the peer never
+// hears the request). A CorruptRate draw lets the exchange happen but flips
+// a byte in the response body — which the result frame's CRC must catch,
+// turning the damage into a clean miss, never wrong bytes.
+type FaultTransport struct {
+	inner http.RoundTripper
+
+	mu     sync.Mutex
+	policy FaultPolicy
+	rng    *rand.Rand
+
+	injected  int64
+	corrupted int64
+}
+
+// NewFaultTransport wraps inner (nil selects http.DefaultTransport) with
+// policy.
+func NewFaultTransport(inner http.RoundTripper, policy FaultPolicy) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &FaultTransport{
+		inner:  inner,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(policy.Seed)),
+	}
+}
+
+// SetPolicy swaps the fault policy — a zero policy "repairs the network".
+func (ft *FaultTransport) SetPolicy(p FaultPolicy) {
+	ft.mu.Lock()
+	ft.policy = p
+	ft.rng = rand.New(rand.NewSource(p.Seed))
+	ft.mu.Unlock()
+}
+
+// Injected reports how many round trips failed and how many responses were
+// corrupted in flight.
+func (ft *FaultTransport) Injected() (failed, corrupted int64) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.injected, ft.corrupted
+}
+
+// RoundTrip implements http.RoundTripper with faults injected.
+func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ft.mu.Lock()
+	p := ft.policy
+	fail := p.ErrRate > 0 && ft.rng.Float64() < p.ErrRate
+	corrupt := !fail && p.CorruptRate > 0 && ft.rng.Float64() < p.CorruptRate
+	if fail {
+		ft.injected++
+	}
+	ft.mu.Unlock()
+
+	if p.Latency > 0 {
+		time.Sleep(p.Latency)
+	}
+	if fail {
+		return nil, ErrInjected
+	}
+	resp, err := ft.inner.RoundTrip(req)
+	if err != nil || !corrupt {
+		return resp, err
+	}
+	// Corrupt the response in flight: read the body, flip one byte
+	// somewhere past the frame header, hand back the damaged copy.
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if len(body) > 20 {
+		body[len(body)/2] ^= 0x20
+		ft.mu.Lock()
+		ft.corrupted++
+		ft.mu.Unlock()
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+// AssertPeerFaultTolerant proves the distributed analogue of
+// AssertFaultTolerant: a remote peer tier misbehaving at the network level
+// costs retries, quarantine and local recomputation — never wrong bytes.
+//
+// It stands up a healthy backing farm behind farm.PeerHandler, mounts it as
+// a remote tier (PeerStore → RetryStore, as a coordinator deploys it) under
+// a farm whose network misbehaves per policy, runs the standard job table
+// twice, and asserts both passes byte-identical to fresh inline execution.
+// With a total outage it additionally asserts the breaker tripped.
+func AssertPeerFaultTolerant(tb testing.TB, policy FaultPolicy) {
+	tb.Helper()
+	jobs := Jobs()
+	want := RunFresh(tb, jobs)
+
+	backing := farm.New(2)
+	defer backing.Close()
+	srv := httptest.NewServer(farm.PeerHandler(backing))
+	defer srv.Close()
+
+	ft := NewFaultTransport(nil, policy)
+	ps := farm.NewPeerStore(srv.URL, farm.WithPeerHTTPClient(&http.Client{
+		Transport: ft,
+		Timeout:   10 * time.Second,
+	}))
+	fm := farm.New(4, farm.WithDiskStore(farm.NewRetryStore(ps, TestRetryPolicy())))
+	defer fm.Close()
+
+	first, err := fm.DoBatch(jobs)
+	if err != nil {
+		tb.Fatalf("peer-faulted first pass (policy %+v): %v", policy, err)
+	}
+	AssertSameResults(tb, "peer-faulted first pass vs fresh", want, first)
+
+	second, err := fm.DoBatch(jobs)
+	if err != nil {
+		tb.Fatalf("peer-faulted second pass (policy %+v): %v", policy, err)
+	}
+	AssertSameResults(tb, "peer-faulted second pass vs fresh", want, second)
+
+	st := fm.Stats()
+	if st.Disk == nil {
+		tb.Fatalf("farm lost its remote tier stats: %+v", st)
+	}
+	if failed, _ := ft.Injected(); policy.ErrRate > 0 && failed == 0 {
+		tb.Errorf("policy %+v injected no network faults over %d jobs", policy, 2*len(jobs))
+	}
+	if policy.ErrRate >= 1 && st.Disk.Trips == 0 {
+		tb.Errorf("total network outage never tripped the breaker: %+v", st.Disk)
+	}
+	// Whatever the network did, the backing peer must never have been
+	// poisoned: its cache still answers the sweep byte-identically.
+	if policy.ErrRate < 1 {
+		for i, j := range jobs {
+			key, err := j.Key()
+			if err != nil {
+				tb.Fatalf("job %d key: %v", i, err)
+			}
+			if res, ok := backing.CacheGet(key); ok {
+				if err := DiffResults(want[i], res); err != nil {
+					tb.Errorf("backing peer's entry for job %d diverged: %v", i, err)
+				}
+			}
+		}
+	}
+}

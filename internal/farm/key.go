@@ -14,6 +14,12 @@ import (
 // computed under different rules.
 const keyVersion = "bifrost/farm/v1"
 
+// KeyVersion is the key-derivation version, exported for the peer wire
+// protocol's handshake: nodes deriving keys under different rules would
+// look up (and replicate) results under keys the other side never writes,
+// so a mismatch downgrades a peer to always-miss instead.
+const KeyVersion = keyVersion
+
 // Key returns the content-addressed cache key of a job: a hex-encoded
 // SHA-256 over a canonical little-endian encoding of the normalised
 // hardware configuration, operator kind, geometry, mapping, declared seed

@@ -1,0 +1,357 @@
+package farm_test
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+)
+
+// newPeerPair stands up a backing farm, mounts its PeerHandler on an
+// httptest server, and returns a PeerStore pointed at it. The caller owns
+// the cleanup of all three.
+func newPeerPair(t *testing.T, opts ...farm.PeerStoreOption) (*farm.Farm, *httptest.Server, *farm.PeerStore) {
+	t.Helper()
+	backing := farm.New(2)
+	srv := httptest.NewServer(farm.PeerHandler(backing))
+	ps := farm.NewPeerStore(srv.URL, opts...)
+	t.Cleanup(func() {
+		ps.Close()
+		srv.Close()
+		backing.Close()
+	})
+	return backing, srv, ps
+}
+
+// TestPeerStoreRoundTrip exercises the happy path end to end: a result
+// computed on the backing node is fetched through the wire byte-identically,
+// and a Put replicates an entry the backing node then serves from cache.
+func TestPeerStoreRoundTrip(t *testing.T) {
+	backing, _, ps := newPeerPair(t)
+
+	job := dryJob(1)
+	want, err := backing.Do(job)
+	if err != nil {
+		t.Fatalf("backing Do: %v", err)
+	}
+	key, err := job.Key()
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+
+	got, ok, err := ps.GetErr(key)
+	if err != nil || !ok {
+		t.Fatalf("GetErr(%s) = ok=%v err=%v, want hit", key[:12], ok, err)
+	}
+	if got.Stats != want.Stats {
+		t.Errorf("remote result stats diverge:\n got %+v\nwant %+v", got.Stats, want.Stats)
+	}
+	if !ps.Compatible() {
+		t.Error("handshake did not mark the peer compatible")
+	}
+
+	// Replicate a second result upward and confirm the peer holds it.
+	job2 := dryJob(2)
+	res2, err := farm.Run(job2)
+	if err != nil {
+		t.Fatalf("local simulate: %v", err)
+	}
+	key2, _ := job2.Key()
+	if err := ps.PutErr(key2, res2); err != nil {
+		t.Fatalf("PutErr: %v", err)
+	}
+	if back, ok := backing.CacheGet(key2); !ok || back.Stats != res2.Stats {
+		t.Fatalf("replicated entry not served by peer cache: ok=%v", ok)
+	}
+
+	st := ps.Stats()
+	if st.Hits != 1 || st.Puts != 1 || st.Errors != 0 {
+		t.Errorf("peer stats = %+v, want 1 hit, 1 put, 0 errors", st)
+	}
+}
+
+// TestPeerStoreMissAndMalformedKey pins the clean-miss paths: an absent key
+// is a miss without error, and the handler refuses keys that are not
+// 64-char lowercase hex before touching the cache.
+func TestPeerStoreMissAndMalformedKey(t *testing.T) {
+	_, srv, ps := newPeerPair(t)
+
+	absent := strings.Repeat("ab", 32)
+	if _, ok, err := ps.GetErr(absent); ok || err != nil {
+		t.Fatalf("absent key: ok=%v err=%v, want clean miss", ok, err)
+	}
+
+	for _, bad := range []string{"shortkey", strings.Repeat("g", 64), strings.Repeat("AB", 32)} {
+		resp, err := http.Get(srv.URL + "/peer/result/" + bad)
+		if err != nil {
+			t.Fatalf("GET malformed key: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("key %q: HTTP %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestPeerStoreHandshakeMismatch points a PeerStore at a peer speaking a
+// different codec version: every lookup must answer miss — never decode —
+// with no error (skew is not a fault), and a Put must be dropped.
+func TestPeerStoreHandshakeMismatch(t *testing.T) {
+	var hits atomic.Int64
+	skewed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/peer/codec" {
+			fmt.Fprintf(w, `{"codec_version":%d,"key_version":%q}`, farm.CodecVersion+1, farm.KeyVersion)
+			return
+		}
+		hits.Add(1) // result traffic must never reach a mismatched peer
+		w.Write([]byte("garbage the client must not decode"))
+	}))
+	defer skewed.Close()
+
+	ps := farm.NewPeerStore(skewed.URL, farm.WithPeerRecheck(time.Hour))
+	defer ps.Close()
+
+	key := strings.Repeat("ab", 32)
+	for i := 0; i < 3; i++ {
+		if _, ok, err := ps.GetErr(key); ok || err != nil {
+			t.Fatalf("mismatched peer lookup %d: ok=%v err=%v, want errorless miss", i, ok, err)
+		}
+	}
+	if err := ps.PutErr(key, farm.Result{}); err != nil {
+		t.Fatalf("mismatched peer put: %v, want dropped without error", err)
+	}
+	if ps.Compatible() {
+		t.Error("Compatible() = true for a version-skewed peer")
+	}
+	if n := hits.Load(); n != 0 {
+		t.Errorf("%d result requests leaked to a mismatched peer", n)
+	}
+}
+
+// TestPeerStoreMidConversationSkew upgrades the peer underneath an already
+// compatible PeerStore: the 412 tripwire on the next exchange must downgrade
+// the client back to always-miss instead of erroring.
+func TestPeerStoreMidConversationSkew(t *testing.T) {
+	var skew atomic.Bool
+	backing := farm.New(1)
+	defer backing.Close()
+	inner := farm.PeerHandler(backing)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if skew.Load() && strings.HasPrefix(r.URL.Path, "/peer/result/") {
+			w.WriteHeader(http.StatusPreconditionFailed)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	ps := farm.NewPeerStore(srv.URL, farm.WithPeerRecheck(time.Hour))
+	defer ps.Close()
+
+	key := strings.Repeat("cd", 32)
+	if _, ok, err := ps.GetErr(key); ok || err != nil {
+		t.Fatalf("pre-skew lookup: ok=%v err=%v", ok, err)
+	}
+	if !ps.Compatible() {
+		t.Fatal("handshake should have succeeded pre-skew")
+	}
+
+	skew.Store(true)
+	if _, ok, err := ps.GetErr(key); ok || err != nil {
+		t.Fatalf("lookup during skew: ok=%v err=%v, want errorless miss", ok, err)
+	}
+	if ps.Compatible() {
+		t.Error("412 mid-conversation did not downgrade the peer")
+	}
+}
+
+// TestPeerStoreCorruptFrameIsCleanMiss serves a damaged frame: the CRC
+// catches it, the lookup is a miss (counted as corrupt), and no error feeds
+// the breaker — matching the disk tier's corrupt-entry policy.
+func TestPeerStoreCorruptFrameIsCleanMiss(t *testing.T) {
+	res, err := farm.Run(dryJob(3))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	frame := farm.EncodeResult(res)
+	frame[len(frame)-6] ^= 0x40 // flip a payload bit under the CRC
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/peer/codec" {
+			fmt.Fprintf(w, `{"codec_version":%d,"key_version":%q}`, farm.CodecVersion, farm.KeyVersion)
+			return
+		}
+		w.Write(frame)
+	}))
+	defer srv.Close()
+
+	ps := farm.NewPeerStore(srv.URL)
+	defer ps.Close()
+	if _, ok, err := ps.GetErr(strings.Repeat("ef", 32)); ok || err != nil {
+		t.Fatalf("corrupt frame: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if st := ps.Stats(); st.Corrupt != 1 {
+		t.Errorf("stats = %+v, want Corrupt=1", st)
+	}
+}
+
+// TestPeerStoreBehindRetryStore composes the tentpole stack: an unreachable
+// peer behind NewRetryStore trips the breaker into quarantine (instant
+// misses, no hammering), and a half-open probe brings it back once the peer
+// recovers.
+func TestPeerStoreBehindRetryStore(t *testing.T) {
+	backing, srv, _ := newPeerPair(t)
+	var down atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		resp, err := http.Get(srv.URL + r.URL.Path)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		if resp.StatusCode == http.StatusOK {
+			buf := make([]byte, 1<<16)
+			for {
+				n, err := resp.Body.Read(buf)
+				if n > 0 {
+					w.Write(buf[:n])
+				}
+				if err != nil {
+					break
+				}
+			}
+		}
+	}))
+	defer proxy.Close()
+
+	policy := farm.RetryPolicy{
+		MaxRetries: 1, BaseDelay: 50 * time.Microsecond, MaxDelay: time.Millisecond,
+		TripAfter: 2, ProbeEvery: 10 * time.Millisecond,
+	}
+	rs := farm.NewRetryStore(farm.NewPeerStore(proxy.URL), policy)
+	defer rs.Close()
+
+	job := dryJob(4)
+	want, err := backing.Do(job)
+	if err != nil {
+		t.Fatalf("backing Do: %v", err)
+	}
+	key, _ := job.Key()
+
+	if res, ok := rs.Get(key); !ok || res.Stats != want.Stats {
+		t.Fatalf("healthy peer through RetryStore: ok=%v", ok)
+	}
+
+	down.Store(true)
+	for i := 0; i < 3 && !rs.Degraded(); i++ {
+		rs.Get(key)
+	}
+	if !rs.Degraded() {
+		t.Fatal("total peer outage did not quarantine the tier")
+	}
+	if res, ok := rs.Get(key); ok || res.Stats == want.Stats {
+		t.Fatal("quarantined peer tier must answer an instant miss")
+	}
+
+	down.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if res, ok := rs.Get(key); ok && res.Stats == want.Stats {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered peer never re-admitted by the breaker probe")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rs.Degraded() {
+		t.Error("breaker still open after a successful probe")
+	}
+}
+
+// TestPeerStoreUnreachableSurfacesError pins the FallibleStore contract for
+// a peer that is simply gone: GetErr must return an error, not a silent
+// miss, so the retry wrapper can see and count the failure.
+func TestPeerStoreUnreachableSurfacesError(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // nothing listens here any more
+
+	ps := farm.NewPeerStore(url, farm.WithPeerHTTPClient(&http.Client{Timeout: 200 * time.Millisecond}))
+	defer ps.Close()
+	if _, ok, err := ps.GetErr(strings.Repeat("01", 32)); ok || err == nil {
+		t.Fatalf("dead peer: ok=%v err=%v, want surfaced error", ok, err)
+	}
+	if err := ps.PutErr(strings.Repeat("01", 32), farm.Result{}); err == nil {
+		t.Fatal("dead peer put: want surfaced error")
+	}
+	if st := ps.Stats(); st.Errors < 2 {
+		t.Errorf("stats = %+v, want at least 2 errors", st)
+	}
+}
+
+// TestPeerHandlerRejectsSkewedWriter covers the server side of the
+// tripwire: a writer advertising a different codec version gets 412 and the
+// frame is never decoded or stored.
+func TestPeerHandlerRejectsSkewedWriter(t *testing.T) {
+	backing, srv, _ := newPeerPair(t)
+	key := strings.Repeat("23", 32)
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/peer/result/"+key, strings.NewReader("junk"))
+	req.Header.Set("X-Bifrost-Codec", "999")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("skewed PUT: HTTP %d, want 412", resp.StatusCode)
+	}
+	if _, ok := backing.CacheGet(key); ok {
+		t.Fatal("skewed write reached the cache")
+	}
+}
+
+// errAbort distinguishes transport aborts injected below.
+var errAbort = errors.New("injected transport abort")
+
+// TestPeerStoreTransportErrorTaxonomy drives one request through an
+// aborting RoundTripper and confirms it surfaces as an error (breaker food)
+// rather than a miss.
+func TestPeerStoreTransportErrorTaxonomy(t *testing.T) {
+	_, srv, _ := newPeerPair(t)
+	var armed atomic.Bool
+	client := &http.Client{Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		if armed.Load() {
+			return nil, errAbort
+		}
+		return http.DefaultTransport.RoundTrip(r)
+	})}
+	ps := farm.NewPeerStore(srv.URL, farm.WithPeerHTTPClient(client))
+	defer ps.Close()
+
+	key := strings.Repeat("45", 32)
+	if _, ok, err := ps.GetErr(key); ok || err != nil {
+		t.Fatalf("warmup miss: ok=%v err=%v", ok, err)
+	}
+	armed.Store(true)
+	if _, _, err := ps.GetErr(key); !errors.Is(err, errAbort) {
+		t.Fatalf("aborted transport: err=%v, want wrapped errAbort", err)
+	}
+}
+
+// roundTripFunc adapts a function to http.RoundTripper.
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

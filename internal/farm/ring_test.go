@@ -1,0 +1,143 @@
+package farm_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/farm"
+)
+
+// TestRingDeterministic pins that two independently built rings over the
+// same member set agree on every owner — the property that lets every
+// coordinator compute placement locally with no consensus traffic.
+func TestRingDeterministic(t *testing.T) {
+	build := func() *farm.Ring {
+		r := farm.NewRing(0)
+		// Insertion order must not matter.
+		for _, m := range []string{"node-c", "node-a", "node-b"} {
+			r.Add(m)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %q: ring A owner %q, ring B owner %q", key, ao, bo)
+		}
+	}
+}
+
+// TestRingOwnersDistinctFailoverOrder checks Owners returns distinct
+// members, the primary first, and never more than the membership.
+func TestRingOwnersDistinctFailoverOrder(t *testing.T) {
+	r := farm.NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key, 10)
+		if len(owners) != 4 {
+			t.Fatalf("key %q: %d owners, want all 4", key, len(owners))
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("key %q: Owners[0]=%q != Owner=%q", key, owners[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %q in %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingRemoveOnlyRemapsLostShard is the consistent-hashing property
+// itself: dropping one of four members must leave every key owned by a
+// surviving member exactly where it was.
+func TestRingRemoveOnlyRemapsLostShard(t *testing.T) {
+	r := farm.NewRing(0)
+	members := []string{"node-0", "node-1", "node-2", "node-3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	const keys = 2000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Owner(k)
+	}
+	r.Remove("node-2")
+	moved := 0
+	for k, owner := range before {
+		now := r.Owner(k)
+		if owner == "node-2" {
+			if now == "node-2" || now == "" {
+				t.Fatalf("key %q still maps to the removed member", k)
+			}
+			moved++
+			continue
+		}
+		if now != owner {
+			t.Fatalf("key %q moved %q → %q though its owner survived", k, owner, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned zero of 2000 keys — ring badly skewed")
+	}
+}
+
+// TestRingBalance checks virtual nodes keep the shard sizes roughly
+// uniform: with the default replica count no member of a 4-node ring
+// should stray past ~2x from its fair share over 8000 keys.
+func TestRingBalance(t *testing.T) {
+	r := farm.NewRing(0)
+	const nodes, keys = 4, 8000
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := float64(keys) / nodes
+	for m, n := range counts {
+		if ratio := float64(n) / fair; math.Abs(ratio-1) > 1.0 {
+			t.Errorf("member %s owns %d keys (%.2fx fair share)", m, n, ratio)
+		}
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d members ever own keys, want %d", len(counts), nodes)
+	}
+}
+
+// TestRingEmptyAndChurn covers the edges: an empty ring owns nothing,
+// add/remove are idempotent, and a ring churned down to one member routes
+// everything there.
+func TestRingEmptyAndChurn(t *testing.T) {
+	r := farm.NewRing(8)
+	if o := r.Owner("anything"); o != "" {
+		t.Fatalf("empty ring owner = %q, want empty", o)
+	}
+	if owners := r.Owners("anything", 3); owners != nil {
+		t.Fatalf("empty ring owners = %v, want nil", owners)
+	}
+	r.Add("solo")
+	r.Add("solo") // idempotent
+	r.Remove("ghost")
+	if got := r.Members(); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("members = %v, want [solo]", got)
+	}
+	for i := 0; i < 10; i++ {
+		if o := r.Owner(fmt.Sprintf("k%d", i)); o != "solo" {
+			t.Fatalf("single-member ring routed %q to %q", fmt.Sprintf("k%d", i), o)
+		}
+	}
+	r.Remove("solo")
+	if r.Len() != 0 || r.Owner("k") != "" {
+		t.Fatal("ring did not drain to empty")
+	}
+}

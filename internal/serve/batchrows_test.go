@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/farm"
+)
+
+// TestBatchNDJSONErrorRowTaxonomy is the regression test for opaque stream
+// errors: an NDJSON row that fails must carry the same machine-readable
+// code/retryable fields the single-job path expresses via HTTP status,
+// because a streamed row has no status of its own.
+func TestBatchNDJSONErrorRowTaxonomy(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	body := `{"arch":{"controller":"maeri"},"op":"dense","dense":{"k":16,"n":8},"dry_run":true}
+{"arch":{"controller":"maeri"},"op":"warp_drive"}
+{"arch":{"controller":"nonsense"},"op":"dense","dense":{"k":16,"n":8}}
+`
+	resp, err := http.Post(ts.URL+"/batch", "application/x-ndjson", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rows []JobResponse
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var jr JobResponse
+		if err := dec.Decode(&jr); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, jr)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Error != "" || rows[0].Code != "" {
+		t.Errorf("healthy row got error fields: %+v", rows[0])
+	}
+	for i, row := range rows[1:] {
+		if row.Error == "" {
+			t.Fatalf("bad row %d reported no error", i+1)
+		}
+		if row.Code != "invalid" {
+			t.Errorf("bad row %d: code %q, want invalid", i+1, row.Code)
+		}
+		if row.Retryable {
+			t.Errorf("bad row %d marked retryable: resubmitting an invalid job cannot succeed", i+1)
+		}
+	}
+}
+
+// TestBatchFanoutRespectsQueueBound is the regression test for the fan-out
+// width ignoring the queue bound: a server over a farm with WithMaxQueue(1)
+// used to launch 2*workers concurrent submissions, manufacturing
+// ErrQueueFull rows out of its own parallelism. The width is now clamped to
+// the bound, so a large batch must stream back with zero rejections.
+func TestBatchFanoutRespectsQueueBound(t *testing.T) {
+	fm := farm.New(2, farm.WithMaxQueue(1))
+	ts := httptest.NewServer(NewServer(fm))
+	t.Cleanup(func() {
+		ts.Close()
+		fm.Close()
+	})
+
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	const batch = 24
+	for i := 0; i < batch; i++ {
+		if err := enc.Encode(JobRequest{
+			Arch: ArchSpec{Controller: "maeri"},
+			Op:   "dense", Dense: &DenseSpec{K: 16, N: 8 + i},
+			DryRun: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/batch", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rows := 0
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var jr JobResponse
+		if err := dec.Decode(&jr); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Error != "" {
+			t.Errorf("row %d failed: %s (code %s)", rows, jr.Error, jr.Code)
+		}
+		rows++
+	}
+	if rows != batch {
+		t.Fatalf("streamed %d rows, want %d", rows, batch)
+	}
+	if st := fm.Stats(); st.Rejected != 0 {
+		t.Errorf("batch fan-out manufactured %d rejections over a bound-1 queue", st.Rejected)
+	}
+}

@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/telemetry"
+)
+
+// Coordinator mode turns a bifrost-serve node into the front of a
+// distributed farm: each job's content-addressed key is consistent-hashed
+// onto a ring of peer nodes, the job is forwarded to its owner's /simulate
+// endpoint, and the response streams back through the normal single-job and
+// NDJSON batch paths. Placement is deterministic (farm.Ring), so every
+// coordinator over the same peer set routes every key identically and a
+// sharded sweep stays byte-identical to a single-node run.
+//
+// Failure handling mirrors the local disk tier's:
+//
+//	peer down      → per-peer breaker trips after a failure streak; the
+//	                 peer is quarantined and probed on a timer
+//	quarantined    → its shard is redistributed deterministically to the
+//	                 next owners on the ring, then to the local farm
+//	peer at bound  → its 429 propagates to the client with Retry-After
+//	                 intact (backpressure is an answer, not a failure)
+//	all peers gone → the local farm executes everything; a coordinator
+//	                 degrades to a correct single node
+//
+// The coordinator also scrapes each peer's /stats on a short TTL: queue
+// depth drives placement (a peer at its queue bound is skipped before the
+// wire round-trip, not after), and the scraped gauges are re-exported on
+// /metrics under a peer label.
+
+// Peer names one remote bifrost-serve node in the coordinator's ring.
+type Peer struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// errPeerUnavailable classifies a job whose owning peers all failed and
+// whose local fallback was impossible; in practice the local farm absorbs
+// the job, so clients only see this code if dispatch fails before any
+// execution.
+var errPeerUnavailable = errors.New("serve: no peer could execute the job")
+
+// WithPeers configures coordinator mode: jobs are consistent-hashed across
+// the given peers, with the local farm as the deterministic last resort.
+// An empty slice leaves the server a plain single node.
+func WithPeers(peers []Peer) ServerOption {
+	return func(s *Server) { s.peerList = append([]Peer(nil), peers...) }
+}
+
+// WithPeerClient substitutes the HTTP client the coordinator dials peers
+// with — the seam the chaos tests use to inject transport faults.
+func WithPeerClient(c *http.Client) ServerOption {
+	return func(s *Server) {
+		if c != nil {
+			s.peerClient = c
+		}
+	}
+}
+
+const (
+	// peerTripAfter consecutive forwarding failures quarantine a peer.
+	peerTripAfter = 3
+	// peerProbeEvery is the quarantined peer's re-probe interval: one real
+	// job per interval is risked against it; success re-admits it.
+	peerProbeEvery = 2 * time.Second
+	// peerStatsTTL bounds how stale the scraped placement stats may be.
+	peerStatsTTL = 2 * time.Second
+)
+
+// coordinator owns the ring, the per-peer health and the dispatch loop.
+type coordinator struct {
+	s      *Server
+	ring   *farm.Ring
+	client *http.Client
+	peers  map[string]*peerState
+
+	localFallbacks atomic.Int64
+}
+
+// peerState is one peer's breaker, scrape cache and counters.
+type peerState struct {
+	name, url string
+
+	mu          sync.Mutex
+	failures    int       // consecutive forwarding failures
+	quarantined bool      // breaker open
+	nextProbe   time.Time // earliest next probe while quarantined
+	trips       int64
+
+	statsAt time.Time
+	statsOK bool
+	stats   peerScrape
+
+	dispatched atomic.Int64 // jobs this peer answered (any terminal status)
+	failovers  atomic.Int64 // jobs moved off this peer after it failed
+	skipped    atomic.Int64 // placements skipped: quarantine or queue bound
+}
+
+// peerScrape is the slice of a peer's /stats the coordinator acts on.
+type peerScrape struct {
+	Queued      int64 `json:"queued"`
+	BusyWorkers int64 `json:"busy_workers"`
+	Workers     int   `json:"workers"`
+	Ratios      struct {
+		Memory float64 `json:"memory"`
+		Disk   float64 `json:"disk"`
+	} `json:"ratios"`
+	Limits struct {
+		MaxQueue int `json:"max_queue"`
+	} `json:"limits"`
+}
+
+func newCoordinator(s *Server, peers []Peer, client *http.Client) *coordinator {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	c := &coordinator{s: s, ring: farm.NewRing(0), client: client, peers: make(map[string]*peerState, len(peers))}
+	for _, p := range peers {
+		if p.Name == "" || p.URL == "" {
+			continue
+		}
+		c.ring.Add(p.Name)
+		c.peers[p.Name] = &peerState{name: p.Name, url: p.URL}
+	}
+	return c
+}
+
+// admit reports whether a peer may receive a job right now: always when
+// healthy, once per probe interval when quarantined.
+func (ps *peerState) admit(now time.Time) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.quarantined {
+		return true
+	}
+	if !now.Before(ps.nextProbe) {
+		ps.nextProbe = now.Add(peerProbeEvery) // claim this probe slot
+		return true
+	}
+	return false
+}
+
+// ok records a successful exchange, closing an open breaker.
+func (ps *peerState) ok() {
+	ps.mu.Lock()
+	ps.failures = 0
+	ps.quarantined = false
+	ps.mu.Unlock()
+}
+
+// fail records a forwarding failure, quarantining the peer at the streak
+// threshold.
+func (ps *peerState) fail(now time.Time) {
+	ps.mu.Lock()
+	ps.failures++
+	if ps.failures >= peerTripAfter && !ps.quarantined {
+		ps.quarantined = true
+		ps.trips++
+	}
+	if ps.quarantined {
+		ps.nextProbe = now.Add(peerProbeEvery)
+	}
+	ps.mu.Unlock()
+}
+
+// overloaded consults the peer's scraped stats: a peer already at its queue
+// bound would only answer 429, so the coordinator routes past it — the same
+// redistribution path a dead peer takes, driven by backpressure telemetry
+// instead of a breaker.
+func (c *coordinator) overloaded(ps *peerState) bool {
+	st, ok := c.scrape(ps)
+	return ok && st.Limits.MaxQueue > 0 && st.Queued >= int64(st.Limits.MaxQueue)
+}
+
+// scrape returns the peer's stats, refreshing over the wire at most once
+// per TTL. A failed scrape is not breaker food — placement just proceeds
+// without the hint.
+func (c *coordinator) scrape(ps *peerState) (peerScrape, bool) {
+	ps.mu.Lock()
+	if time.Since(ps.statsAt) < peerStatsTTL {
+		st, ok := ps.stats, ps.statsOK
+		ps.mu.Unlock()
+		return st, ok
+	}
+	ps.statsAt = time.Now() // claim the refresh before releasing the lock
+	ps.mu.Unlock()
+
+	var st peerScrape
+	ok := false
+	resp, err := c.client.Get(ps.url + "/stats")
+	if err == nil {
+		if resp.StatusCode == http.StatusOK &&
+			json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st) == nil {
+			ok = true
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+	ps.mu.Lock()
+	ps.stats, ps.statsOK = st, ok
+	ps.mu.Unlock()
+	return st, ok
+}
+
+// run dispatches one request across the ring. The job's content key decides
+// its owner; owners are tried in the ring's deterministic failover order,
+// skipping quarantined and queue-bound peers; if every owner is out, the
+// local farm executes the job — the coordinator never refuses work a
+// single node could do.
+func (c *coordinator) run(ctx context.Context, req JobRequest) JobResponse {
+	start := time.Now()
+	job, err := req.Job()
+	if err != nil {
+		return c.s.annotate(JobResponse{Error: err.Error(), ElapsedMS: msSince(start), err: err})
+	}
+	key, err := job.Key()
+	if err != nil {
+		return c.s.annotate(JobResponse{Error: err.Error(), ElapsedMS: msSince(start), err: err})
+	}
+
+	now := time.Now()
+	for _, name := range c.ring.Owners(key, c.ring.Len()) {
+		ps := c.peers[name]
+		if !ps.admit(now) || c.overloaded(ps) {
+			ps.skipped.Add(1)
+			continue
+		}
+		resp, terminal := c.forward(ctx, ps, req, key, start)
+		if terminal {
+			return resp
+		}
+		ps.failovers.Add(1)
+		if ctx.Err() != nil {
+			// The client is gone; walking more owners only burns peers.
+			return c.s.annotate(JobResponse{Key: key, Error: ctx.Err().Error(), ElapsedMS: msSince(start), err: ctx.Err()})
+		}
+	}
+
+	// Redistribution's last hop: the shard lands on the local farm.
+	c.localFallbacks.Add(1)
+	resp := c.s.run(ctx, req)
+	return resp
+}
+
+// forward sends the job to one peer and shapes the reply. terminal=false
+// means the peer could not answer (network failure or 5xx) and the caller
+// should fail over; every real answer — success, backpressure, deadline,
+// invalid job — is terminal and propagates.
+func (c *coordinator) forward(ctx context.Context, ps *peerState, req JobRequest, key string, start time.Time) (JobResponse, bool) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return c.s.annotate(JobResponse{Key: key, Error: err.Error(), ElapsedMS: msSince(start), err: err}), true
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, ps.url+"/simulate", bytes.NewReader(body))
+	if err != nil {
+		return JobResponse{}, false
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		ps.fail(time.Now())
+		return JobResponse{}, false
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(hresp.Body, 4096))
+		hresp.Body.Close()
+	}()
+
+	var resp JobResponse
+	decodeErr := json.NewDecoder(io.LimitReader(hresp.Body, 64<<20)).Decode(&resp)
+
+	switch {
+	case hresp.StatusCode == http.StatusOK:
+		if decodeErr != nil {
+			ps.fail(time.Now())
+			return JobResponse{}, false
+		}
+		ps.ok()
+	case hresp.StatusCode == http.StatusTooManyRequests:
+		// The peer is healthy and saying "not now": backpressure propagates
+		// to the client as-is, hint included, rather than pile the load
+		// onto the next owner and melt the ring one peer at a time.
+		ps.ok()
+		resp.err = farm.ErrQueueFull
+		if resp.Error == "" {
+			resp.Error = farm.ErrQueueFull.Error()
+		}
+		resp = c.s.annotate(resp)
+		if resp.RetryAfterMS == 0 {
+			resp.RetryAfterMS = 1000
+		}
+	case hresp.StatusCode == http.StatusGatewayTimeout:
+		ps.ok()
+		resp.err = context.DeadlineExceeded
+		resp = c.s.annotate(resp)
+	case hresp.StatusCode == http.StatusUnprocessableEntity:
+		// The job itself is bad; every peer would refuse it identically.
+		ps.ok()
+		if resp.Error == "" {
+			resp.Error = fmt.Sprintf("peer %s: HTTP %d", ps.name, hresp.StatusCode)
+		}
+		resp.err = errors.New(resp.Error)
+		resp = c.s.annotate(resp)
+	default:
+		// 503 (draining), other 5xx, or garbage: this peer cannot answer.
+		ps.fail(time.Now())
+		return JobResponse{}, false
+	}
+
+	ps.dispatched.Add(1)
+	resp.Peer = ps.name
+	if resp.Trace != nil {
+		// One trace per hop: wrap the executing node's trace in this hop's,
+		// so the client sees dispatch + wire time around remote queue wait,
+		// lookups and compute.
+		resp.Trace = &telemetry.Trace{
+			Key:     resp.Key,
+			Source:  "peer",
+			Peer:    ps.name,
+			Remote:  resp.Trace,
+			TotalMS: telemetry.MS(time.Since(start)),
+		}
+	}
+	resp.ElapsedMS = msSince(start)
+	return resp, true
+}
+
+// writeMetrics appends the coordinator's exposition families: per-peer
+// dispatch counters and health, plus the scraped placement gauges under the
+// same peer label.
+func (c *coordinator) writeMetrics(w io.Writer) {
+	one := func(v float64) []telemetry.Sample { return []telemetry.Sample{{Value: v}} }
+	telemetry.WriteSamples(w, "bifrost_coordinator_ring_members",
+		"Peers currently on the coordinator's hash ring.", "gauge", one(float64(c.ring.Len()))...)
+	telemetry.WriteSamples(w, "bifrost_coordinator_local_fallbacks_total",
+		"Jobs the local farm absorbed because every owning peer was unavailable.", "counter",
+		one(float64(c.localFallbacks.Load()))...)
+
+	names := c.ring.Members()
+	perPeer := func(suffix, help, typ string, pick func(*peerState) float64) {
+		samples := make([]telemetry.Sample, 0, len(names))
+		for _, n := range names {
+			samples = append(samples, telemetry.Sample{
+				Labels: []telemetry.Label{{Name: "peer", Value: n}},
+				Value:  pick(c.peers[n]),
+			})
+		}
+		telemetry.WriteSamples(w, suffix, help, typ, samples...)
+	}
+	perPeer("bifrost_peer_up", "1 while the peer is admitted, 0 while quarantined.", "gauge", func(ps *peerState) float64 {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		if ps.quarantined {
+			return 0
+		}
+		return 1
+	})
+	perPeer("bifrost_peer_dispatched_total", "Jobs this peer answered terminally.", "counter",
+		func(ps *peerState) float64 { return float64(ps.dispatched.Load()) })
+	perPeer("bifrost_peer_failovers_total", "Jobs moved off this peer after it failed.", "counter",
+		func(ps *peerState) float64 { return float64(ps.failovers.Load()) })
+	perPeer("bifrost_peer_skipped_total", "Placements that skipped this peer (quarantine or queue bound).", "counter",
+		func(ps *peerState) float64 { return float64(ps.skipped.Load()) })
+	perPeer("bifrost_peer_breaker_trips_total", "Times this peer's breaker opened.", "counter", func(ps *peerState) float64 {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		return float64(ps.trips)
+	})
+	scraped := func(pick func(peerScrape) float64) func(*peerState) float64 {
+		return func(ps *peerState) float64 {
+			ps.mu.Lock()
+			defer ps.mu.Unlock()
+			if !ps.statsOK {
+				return 0
+			}
+			return pick(ps.stats)
+		}
+	}
+	perPeer("bifrost_peer_queue_depth", "Scraped queue depth at this peer.", "gauge",
+		scraped(func(st peerScrape) float64 { return float64(st.Queued) }))
+	perPeer("bifrost_peer_busy_workers", "Scraped busy workers at this peer.", "gauge",
+		scraped(func(st peerScrape) float64 { return float64(st.BusyWorkers) }))
+	perPeer("bifrost_peer_mem_hit_ratio", "Scraped memory-tier hit ratio at this peer.", "gauge",
+		scraped(func(st peerScrape) float64 { return st.Ratios.Memory }))
+	perPeer("bifrost_peer_disk_hit_ratio", "Scraped disk-tier hit ratio at this peer.", "gauge",
+		scraped(func(st peerScrape) float64 { return st.Ratios.Disk }))
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"repro/internal/farm"
+)
+
+// quietLogger keeps the per-request log lines out of benchmark output.
+func quietLogger() ServerOption {
+	return WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+}
+
+// BenchmarkDistributedSweep measures the PR 8 tentpole: jobs/sec of a
+// mapping sweep through the HTTP serve layer, single node vs a coordinator
+// sharding the same sweep across two in-process peer nodes.
+//
+//	single   — one node with NumCPU/2 farm workers, driven over NDJSON
+//	two_node — a coordinator consistent-hashing the sweep across two peer
+//	           nodes of NumCPU/2 workers each (2x the simulation capacity,
+//	           plus one wire hop per job)
+//
+// Every job is a distinct seed (result-cache misses by construction), so
+// the benchmark measures real simulation throughput plus dispatch
+// overhead. Responses are byte-identical between variants — the
+// coordinator tests pin that — so jobs/s is the only thing that moves;
+// near-linear scaling (two_node ≈ 2x single) is the acceptance target,
+// with the gap bounding the coordinator's per-job overhead.
+func BenchmarkDistributedSweep(b *testing.B) {
+	workers := runtime.NumCPU() / 2
+	if workers < 1 {
+		workers = 1
+	}
+	mappings := [][]int{}
+	for tk := 1; tk <= 14; tk++ {
+		mappings = append(mappings, []int{3, 3, 1, tk, 1, 1, 1, 1})
+	}
+	for _, tk := range []int{1, 2} {
+		mappings = append(mappings, []int{3, 3, 1, tk, 1, 1, 1, 2})
+	}
+	sweep := func(iter int) *bytes.Buffer {
+		var body bytes.Buffer
+		enc := json.NewEncoder(&body)
+		for j, m := range mappings {
+			enc.Encode(JobRequest{
+				Arch: ArchSpec{Controller: "maeri"},
+				Op:   "conv2d", Conv: &ConvSpec{C: 64, H: 6, K: 64, R: 3, Pad: 1},
+				Mapping: m,
+				Seed:    int64(1000*iter + j), // distinct: no result-cache hits
+			})
+		}
+		return &body
+	}
+	drive := func(b *testing.B, url string) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(url+"/batch", "application/x-ndjson", sweep(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec := json.NewDecoder(resp.Body)
+			rows := 0
+			for {
+				var jr JobResponse
+				if err := dec.Decode(&jr); err == io.EOF {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+				if jr.Error != "" {
+					b.Fatalf("row %d: %s (code %s)", rows, jr.Error, jr.Code)
+				}
+				rows++
+			}
+			resp.Body.Close()
+			if rows != len(mappings) {
+				b.Fatalf("got %d rows, want %d", rows, len(mappings))
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*len(mappings))/b.Elapsed().Seconds(), "jobs/s")
+	}
+
+	b.Run("single", func(b *testing.B) {
+		fm := farm.New(workers)
+		defer fm.Close()
+		ts := httptest.NewServer(NewServer(fm, quietLogger()))
+		defer ts.Close()
+		drive(b, ts.URL)
+	})
+
+	b.Run(fmt.Sprintf("two_node_%dw_each", workers), func(b *testing.B) {
+		var peers []Peer
+		for i := 0; i < 2; i++ {
+			fm := farm.New(workers)
+			defer fm.Close()
+			ts := httptest.NewServer(NewServer(fm, quietLogger()))
+			defer ts.Close()
+			peers = append(peers, Peer{Name: fmt.Sprintf("w%d", i), URL: ts.URL})
+		}
+		coordFarm := farm.New(1) // fallback only; peers do the simulating
+		defer coordFarm.Close()
+		coord := httptest.NewServer(NewServer(coordFarm, WithPeers(peers), quietLogger()))
+		defer coord.Close()
+		drive(b, coord.URL)
+	})
+}

@@ -256,12 +256,63 @@ type JobResponse struct {
 	// Trace is the job's lifecycle trace, present when the request set
 	// "trace": true or the server runs with -trace.
 	Trace *telemetry.Trace `json:"trace,omitempty"`
-	Error string           `json:"error,omitempty"`
+	// Peer names the node that executed the job when a coordinator
+	// dispatched it across the ring; empty for locally executed jobs.
+	Peer  string `json:"peer,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Code, Retryable and RetryAfterMS make error rows machine-actionable,
+	// which matters on the streamed NDJSON path where there is no HTTP
+	// status per row: Code is the taxonomy bucket ("queue_full",
+	// "deadline", "unavailable", "peer_unavailable", "invalid"), Retryable
+	// says whether resubmitting the identical job can succeed, and
+	// RetryAfterMS carries the backpressure hint that the single-job path
+	// delivers via the Retry-After header.
+	Code         string `json:"code,omitempty"`
+	Retryable    bool   `json:"retryable,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 
 	// err keeps the typed error for HTTP status mapping (429 on
 	// backpressure, 504 on deadline, 503 on shutdown); Error carries its
 	// message to the client.
 	err error
+}
+
+// classify maps a job error onto the machine-readable taxonomy shared by
+// the single-job status mapping and the streamed NDJSON error rows, so a
+// sweep client can switch on the same codes whichever endpoint it used.
+func classify(err error) (code string, status int, retryable bool) {
+	switch {
+	case err == nil:
+		return "", http.StatusOK, false
+	case errors.Is(err, farm.ErrQueueFull):
+		// Backpressure: rejected before costing anything; retry after the
+		// queue drains.
+		return "queue_full", http.StatusTooManyRequests, true
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline", http.StatusGatewayTimeout, true
+	case errors.Is(err, errPeerUnavailable):
+		return "peer_unavailable", http.StatusBadGateway, true
+	case errors.Is(err, farm.ErrFarmClosed), errors.Is(err, context.Canceled):
+		return "unavailable", http.StatusServiceUnavailable, true
+	default:
+		// Malformed geometry, unknown op, bad mapping: resubmitting the
+		// same job can only fail the same way.
+		return "invalid", http.StatusUnprocessableEntity, false
+	}
+}
+
+// annotate fills the taxonomy fields of an error response from its typed
+// error, including the millisecond form of the backpressure hint.
+func (s *Server) annotate(resp JobResponse) JobResponse {
+	if resp.err == nil {
+		return resp
+	}
+	code, _, retryable := classify(resp.err)
+	resp.Code, resp.Retryable = code, retryable
+	if errors.Is(resp.err, farm.ErrQueueFull) {
+		resp.RetryAfterMS = 1000 * s.retryAfterSeconds()
+	}
+	return resp
 }
 
 // Server routes simulation requests into a farm.
@@ -275,6 +326,10 @@ type Server struct {
 	traceAll bool
 	slowJob  time.Duration
 	ring     *telemetry.TraceRing
+
+	peerList   []Peer
+	peerClient *http.Client
+	coord      *coordinator
 
 	inflight   *telemetry.Gauge
 	reqSeconds map[string]*telemetry.Histogram
@@ -326,6 +381,9 @@ func NewServer(f *farm.Farm, opts ...ServerOption) *Server {
 	if s.ring == nil {
 		s.ring = f.Ring()
 	}
+	if len(s.peerList) > 0 {
+		s.coord = newCoordinator(s, s.peerList, s.peerClient)
+	}
 	reg := telemetry.Default()
 	s.inflight = reg.Gauge("bifrost_http_in_flight",
 		"HTTP requests currently being served.")
@@ -340,7 +398,26 @@ func NewServer(f *farm.Farm, opts ...ServerOption) *Server {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
+	// The peer wire protocol: this node's result cache, readable and
+	// writable by other nodes under the versioned codec handshake.
+	s.mux.Handle("/peer/", farm.PeerHandler(f))
 	return s
+}
+
+// fanout bounds a batch's concurrent in-flight jobs. Twice the worker pool
+// keeps every worker fed while the next jobs' operand tensors materialise,
+// but the width is clamped to the queue bound: a fan-out wider than the
+// queue admits would manufacture ErrQueueFull rows for jobs whose caller
+// was blocked right here, ready to wait.
+func (s *Server) fanout() int {
+	n := 2 * s.farm.Workers()
+	if lim := s.farm.Limits(); lim.MaxQueue > 0 && n > lim.MaxQueue {
+		n = lim.MaxQueue
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // route registers an instrumented endpoint: per-endpoint latency
@@ -422,7 +499,7 @@ func (s *Server) run(ctx context.Context, req JobRequest) JobResponse {
 	req.Trace = echoTrace || s.slowJob > 0
 	job, err := req.Job()
 	if err != nil {
-		return JobResponse{Error: err.Error(), ElapsedMS: msSince(start), err: err}
+		return s.annotate(JobResponse{Error: err.Error(), ElapsedMS: msSince(start), err: err})
 	}
 	switch {
 	case req.TimeoutMS > 0:
@@ -442,7 +519,7 @@ func (s *Server) run(ctx context.Context, req JobRequest) JobResponse {
 	elapsed := time.Since(start)
 	if err != nil {
 		key, _ := job.Key() // best effort: name the job even on failure
-		return JobResponse{Key: key, Error: err.Error(), ElapsedMS: telemetry.MS(elapsed), err: err}
+		return s.annotate(JobResponse{Key: key, Error: err.Error(), ElapsedMS: telemetry.MS(elapsed), err: err})
 	}
 	if s.slowJob > 0 && elapsed >= s.slowJob {
 		s.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow job",
@@ -495,24 +572,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, JobResponse{Error: "decoding job: " + err.Error()})
 		return
 	}
-	resp := s.run(r.Context(), req)
+	resp := s.dispatch(r.Context(), req)
 	status := http.StatusOK
-	switch {
-	case resp.Error == "":
-	case errors.Is(resp.err, farm.ErrQueueFull):
-		// Backpressure: the queue bound rejected the job before it cost
-		// anything. Tell the client when to come back — a queue this deep
-		// drains at roughly worker rate, so scale the hint with the depth.
-		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
-	case errors.Is(resp.err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
-	case errors.Is(resp.err, farm.ErrFarmClosed), errors.Is(resp.err, context.Canceled):
-		status = http.StatusServiceUnavailable
-	default:
-		status = http.StatusUnprocessableEntity
+	if resp.err != nil {
+		_, status, _ = classify(resp.err)
+		if resp.RetryAfterMS > 0 {
+			// The header form of the hint; a queue this deep drains at
+			// roughly worker rate, so the value scales with the depth.
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", resp.RetryAfterMS/1000))
+		}
 	}
 	writeJSON(w, status, resp)
+}
+
+// dispatch routes one request: through the coordinator's peer ring when
+// configured, straight into the local farm otherwise.
+func (s *Server) dispatch(ctx context.Context, req JobRequest) JobResponse {
+	if s.coord != nil {
+		return s.coord.run(ctx, req)
+	}
+	return s.run(ctx, req)
 }
 
 // retryAfterSeconds derives the 429 Retry-After hint from the live queue
@@ -595,14 +674,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// The request context rides along: a client that disconnects cancels
 	// every still-queued job of its sweep, freeing the farm for others.
 	results := make([]JobResponse, len(reqs))
-	sem := make(chan struct{}, 2*s.farm.Workers())
+	sem := make(chan struct{}, s.fanout())
 	var wg sync.WaitGroup
 	for i, req := range reqs {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, req JobRequest) {
 			defer func() { <-sem; wg.Done() }()
-			results[i] = s.run(r.Context(), req)
+			results[i] = s.dispatch(r.Context(), req)
 		}(i, req)
 	}
 	wg.Wait()
@@ -621,13 +700,13 @@ func (s *Server) streamBatch(w http.ResponseWriter, ctx context.Context, reqs []
 
 	results := make([]JobResponse, len(reqs))
 	done := make(chan int, len(reqs))
-	sem := make(chan struct{}, 2*s.farm.Workers())
+	sem := make(chan struct{}, s.fanout())
 	go func() {
 		for i, req := range reqs {
 			sem <- struct{}{}
 			go func(i int, req JobRequest) {
 				defer func() { <-sem }()
-				results[i] = s.run(ctx, req)
+				results[i] = s.dispatch(ctx, req)
 				done <- i
 			}(i, req)
 		}
@@ -723,6 +802,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	telemetry.Default().WritePrometheus(w)
 	s.writeFarmMetrics(w)
+	if s.coord != nil {
+		s.coord.writeMetrics(w)
+	}
 }
 
 // writeFarmMetrics renders the farm's counter snapshot as exposition

@@ -161,6 +161,13 @@ type Trace struct {
 	// phase durations (scheduling gaps between phases count toward the
 	// total only).
 	TotalMS float64 `json:"total_ms"`
+	// Peer and Remote describe a coordinator hop: Peer names the node the
+	// job was dispatched to and Remote is the lifecycle trace that node
+	// reported, so a remote job's response carries one trace per hop — the
+	// coordinator's (dispatch overhead, wire time) wrapping the executing
+	// node's (queue wait, lookups, compute). Both are empty for local jobs.
+	Peer   string `json:"peer,omitempty"`
+	Remote *Trace `json:"remote,omitempty"`
 }
 
 // MS converts a duration to float64 milliseconds, the unit every trace and
