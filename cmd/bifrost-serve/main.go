@@ -184,6 +184,11 @@ func main() {
 		peersFlag  = flag.String("peers", "", "comma-separated peer list for coordinator mode, each name=url (e.g. node1=http://10.0.0.1:8087,node2=http://10.0.0.2:8087); jobs are consistent-hashed across peers with the local farm as fallback")
 		coord      = flag.Bool("coordinator", false, "require coordinator mode: fail startup if -peers is empty instead of silently running single-node")
 		peerStore  = flag.String("peer-store", "", "comma-separated peer base URLs mounted as a remote cache tier behind the local farm (read/replicate results over the peer wire protocol)")
+		sweepDir   = flag.String("sweep-dir", "", "directory for resumable-sweep journals (default: <cache-dir>/sweeps when -cache-dir is set; empty without it keeps journals in-process only)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "coordinator hedging threshold: a peer dispatch still unanswered after this long races a second request to the next ring owner, first answer wins (0 = disabled)")
+		peerTO     = flag.Duration("peer-timeout", 2*time.Minute, "coordinator per-dispatch response-header bound: a peer that has not begun answering within it fails over (dials are bounded separately)")
+		statsTTL   = flag.Duration("peer-stats-ttl", 2*time.Second, "coordinator placement-stats staleness bound: each peer's /stats is re-scraped at most once per TTL")
+		peerProbe  = flag.Duration("peer-probe", 5*time.Second, "coordinator active health-probe interval: each peer's /healthz is probed on this timer, flipping it off/on the ring (0 = probe only via dispatch failures)")
 	)
 	flag.Parse()
 
@@ -259,15 +264,28 @@ func main() {
 		n := fm.Warm()
 		log.Printf("warmed %d cached results into memory", n)
 	}
+	if *sweepDir == "" && *cacheDir != "" {
+		*sweepDir = *cacheDir + "/sweeps"
+	}
 	sopts := []serve.ServerOption{
 		serve.WithExecWorkers(*execW),
 		serve.WithJobTimeout(*jobTimeout),
 		serve.WithLogger(logger),
 		serve.WithTraceAll(*traceAll),
 		serve.WithSlowJobThreshold(*slowJob),
+		serve.WithSweepDir(*sweepDir),
+	}
+	if *sweepDir != "" {
+		log.Printf("resumable-sweep journals at %s", *sweepDir)
 	}
 	if len(peers) > 0 {
-		sopts = append(sopts, serve.WithPeers(peers))
+		sopts = append(sopts,
+			serve.WithPeers(peers),
+			serve.WithHedgeAfter(*hedgeAfter),
+			serve.WithPeerTimeout(*peerTO),
+			serve.WithPeerStatsTTL(*statsTTL),
+			serve.WithPeerProbes(*peerProbe),
+		)
 		log.Printf("coordinator mode over %d peer(s)", len(peers))
 	}
 	api := serve.NewServer(fm, sopts...)
@@ -294,10 +312,15 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful drain: the first SIGINT/SIGTERM stops the listener, lets
-	// in-flight requests and running jobs finish within -shutdown-timeout,
-	// then abandons whatever is still queued. A second signal aborts
-	// immediately (signal.Stop restores default handling).
+	// Graceful drain: the first SIGINT/SIGTERM — or a POST /drain — flips
+	// the node to draining (new work refused with the machine-readable
+	// "draining" code, /healthz and /readyz report 503, /stats advertises
+	// the drain so coordinators pull this node off their rings), finishes
+	// queued jobs via the farm's drain within -shutdown-timeout, then stops
+	// the listener. The endpoints stay up through the farm drain so load
+	// balancers and coordinators observe the state instead of a vanished
+	// socket. A second signal aborts immediately (signal.Stop restores
+	// default handling).
 	done := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -310,8 +333,23 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	log.Printf("serving on %s with %d workers", *addr, fm.Workers())
 
+	drain := func() {
+		api.BeginDrain() // idempotent: already set when POST /drain led here
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := fm.Shutdown(ctx); err != nil {
+			log.Printf("farm shutdown: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		api.Close()
+		log.Printf("drained, bye")
+	}
+
 	select {
 	case err := <-done:
+		api.Close()
 		fm.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -319,14 +357,10 @@ func main() {
 	case s := <-sig:
 		log.Printf("%s: draining (up to %s)...", s, *drainWait)
 		signal.Stop(sig) // a second signal kills the process the default way
-		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("http shutdown: %v", err)
-		}
-		if err := fm.Shutdown(ctx); err != nil {
-			log.Printf("farm shutdown: %v", err)
-		}
-		log.Printf("drained, bye")
+		drain()
+	case <-api.DrainRequested():
+		log.Printf("POST /drain: draining (up to %s)...", *drainWait)
+		signal.Stop(sig)
+		drain()
 	}
 }

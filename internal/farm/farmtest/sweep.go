@@ -1,0 +1,127 @@
+package farmtest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/farm"
+)
+
+// AssertJournalResume proves the crash/resume contract at the farm level:
+// a sweep that journals its completed rows (farm.SweepLog) and then
+// "crashes" mid-way is finished by a cold process over the same
+// directories byte-identically, with zero simulator executions for the
+// journaled rows — and once the journal is complete, a third process
+// answers the whole sweep with zero executions. This is the primitive the
+// serve layer's resumable /batch builds on.
+func AssertJournalResume(tb testing.TB) {
+	tb.Helper()
+	jobs := Jobs()
+	want := RunFresh(tb, jobs)
+	root := tb.TempDir()
+	cacheDir := filepath.Join(root, "cache")
+	sweepDir := filepath.Join(root, "sweeps")
+	const sweepID = "farmtest/journal-resume"
+	half := len(jobs) / 2
+
+	newFarm := func() *farm.Farm {
+		ds, err := farm.NewDiskStore(cacheDir, 0)
+		if err != nil {
+			tb.Fatalf("disk store: %v", err)
+		}
+		return farm.New(2, farm.WithDiskStore(ds))
+	}
+
+	// First life: compute and journal the first half of the sweep, then
+	// crash (close without finishing the rest).
+	fm := newFarm()
+	log, err := farm.OpenSweepLog(sweepDir, sweepID)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i, j := range jobs[:half] {
+		res, err := fm.Do(j)
+		if err != nil {
+			tb.Fatalf("first life, row %d: %v", i, err)
+		}
+		if err := DiffResults(want[i], res); err != nil {
+			tb.Fatalf("first life, row %d: %v", i, err)
+		}
+		if err := log.Record(i, res.Key); err != nil {
+			tb.Fatalf("journaling row %d: %v", i, err)
+		}
+	}
+	log.Close()
+	fm.Close()
+
+	// Second life: a cold farm replays every journaled row straight from
+	// the cache and simulates only the remainder.
+	fm = newFarm()
+	log, err = farm.OpenSweepLog(sweepDir, sweepID)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	journal := log.Rows()
+	if len(journal) != half {
+		tb.Fatalf("journal replayed %d rows, want %d", len(journal), half)
+	}
+	for i, j := range jobs {
+		var res farm.Result
+		if key, ok := journal[i]; ok {
+			k, err := j.Key()
+			if err != nil {
+				tb.Fatalf("keying row %d: %v", i, err)
+			}
+			if k != key {
+				tb.Fatalf("journal row %d holds key %s, job keys to %s", i, key, k)
+			}
+			res, ok = fm.CacheGet(key)
+			if !ok {
+				tb.Fatalf("journaled row %d missing from the cold cache", i)
+			}
+		} else {
+			var err error
+			res, err = fm.Do(j)
+			if err != nil {
+				tb.Fatalf("second life, row %d: %v", i, err)
+			}
+			if err := log.Record(i, res.Key); err != nil {
+				tb.Fatalf("journaling row %d: %v", i, err)
+			}
+		}
+		if err := DiffResults(want[i], res); err != nil {
+			tb.Fatalf("row %d diverged after resume: %v", i, err)
+		}
+	}
+	if got, wantExec := fm.Stats().Completed, int64(len(jobs)-half); got != wantExec {
+		tb.Fatalf("resume executed %d simulations, want exactly %d (journaled rows must not recompute)", got, wantExec)
+	}
+	log.Close()
+	fm.Close()
+
+	// Third life: the journal is complete — the whole sweep answers from
+	// cache with zero simulator executions.
+	fm = newFarm()
+	defer fm.Close()
+	log, err = farm.OpenSweepLog(sweepDir, sweepID)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer log.Close()
+	journal = log.Rows()
+	if len(journal) != len(jobs) {
+		tb.Fatalf("completed journal replayed %d rows, want %d", len(journal), len(jobs))
+	}
+	for i := range jobs {
+		res, ok := fm.CacheGet(journal[i])
+		if !ok {
+			tb.Fatalf("completed row %d missing from the cold cache", i)
+		}
+		if err := DiffResults(want[i], res); err != nil {
+			tb.Fatalf("row %d diverged on full replay: %v", i, err)
+		}
+	}
+	if got := fm.Stats().Completed; got != 0 {
+		tb.Fatalf("full replay executed %d simulations, want 0", got)
+	}
+}

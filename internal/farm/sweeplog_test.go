@@ -1,0 +1,192 @@
+package farm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSweepLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSweepLog(dir, "sweep-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("fresh log has %d rows", l.Len())
+	}
+	want := map[int]string{0: testKey('a'), 3: testKey('b'), 7: testKey('c')}
+	for row, key := range want {
+		if err := l.Record(row, key); err != nil {
+			t.Fatalf("record row %d: %v", row, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenSweepLog(dir, "sweep-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Rows()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d rows, want %d", len(got), len(want))
+	}
+	for row, key := range want {
+		if got[row] != key {
+			t.Errorf("row %d replayed as %q, want %q", row, got[row], key)
+		}
+	}
+
+	// A different sweep id must map to a different journal.
+	other, err := OpenSweepLog(dir, "sweep-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if other.Len() != 0 {
+		t.Errorf("distinct sweep id shares a journal: %d rows", other.Len())
+	}
+}
+
+func TestSweepLogRerecordKeepsLatest(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSweepLog(dir, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Record(2, testKey('a'))
+	l.Record(2, testKey('d'))
+	l.Close()
+
+	re, err := OpenSweepLog(dir, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Rows()[2]; got != testKey('d') {
+		t.Fatalf("row 2 replayed as %q, want the re-recorded key", got)
+	}
+}
+
+func TestSweepLogTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSweepLog(dir, "crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Record(0, testKey('a'))
+	l.Record(1, testKey('b'))
+	l.Close()
+
+	// Simulate a crash mid-append: a torn partial frame at the tail.
+	path := filepath.Join(dir, SweepLogName("crash"))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(b, []byte("torn-frame")...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenSweepLog(dir, "crash")
+	if err != nil {
+		t.Fatalf("reopening a torn journal: %v", err)
+	}
+	rows := re.Rows()
+	if len(rows) != 2 || rows[0] != testKey('a') || rows[1] != testKey('b') {
+		t.Fatalf("torn journal replayed %v, want the two intact rows", rows)
+	}
+	// The tail must have been truncated so new appends land on a frame
+	// boundary and survive the next replay.
+	if err := re.Record(2, testKey('c')); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := OpenSweepLog(dir, "crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := re2.Rows(); len(got) != 3 || got[2] != testKey('c') {
+		t.Fatalf("post-truncate append did not replay: %v", got)
+	}
+}
+
+func TestSweepLogCorruptFrameDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSweepLog(dir, "flip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Record(0, testKey('a'))
+	l.Record(1, testKey('b'))
+	l.Record(2, testKey('c'))
+	l.Close()
+
+	path := filepath.Join(dir, SweepLogName("flip"))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[sweepRecordSize+10] ^= 0x40 // flip a bit inside the second frame
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenSweepLog(dir, "flip")
+	if err != nil {
+		t.Fatalf("reopening a bit-flipped journal: %v", err)
+	}
+	defer re.Close()
+	rows := re.Rows()
+	if len(rows) != 1 || rows[0] != testKey('a') {
+		t.Fatalf("bit-flipped journal replayed %v, want only the first intact row", rows)
+	}
+}
+
+func TestSweepLogRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSweepLog(dir, "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Record(-1, testKey('a')); err == nil {
+		t.Error("negative row accepted")
+	}
+	if err := l.Record(0, "not-a-key"); err == nil {
+		t.Error("malformed key accepted")
+	}
+	if err := l.Record(0, strings.Repeat("Z", 64)); err == nil {
+		t.Error("non-hex key accepted")
+	}
+}
+
+func TestRemoveSweepLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSweepLog(dir, "gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Record(0, testKey('a'))
+	l.Close()
+	if err := RemoveSweepLog(dir, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveSweepLog(dir, "gone"); err != nil {
+		t.Fatalf("removing an absent journal: %v", err)
+	}
+	re, err := OpenSweepLog(dir, "gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 0 {
+		t.Fatalf("removed journal still replays %d rows", re.Len())
+	}
+}

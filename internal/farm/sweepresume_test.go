@@ -1,0 +1,15 @@
+package farm_test
+
+import (
+	"testing"
+
+	"repro/internal/farm/farmtest"
+)
+
+// TestChaosJournalResume drives the farmtest crash/resume pass: a sweep
+// journaled half-way and finished by two successive cold processes must be
+// byte-identical to an uninterrupted run with zero recomputation of
+// journaled rows.
+func TestChaosJournalResume(t *testing.T) {
+	farmtest.AssertJournalResume(t)
+}

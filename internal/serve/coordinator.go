@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,13 +34,21 @@ import (
 //	                 next owners on the ring, then to the local farm
 //	peer at bound  → its 429 propagates to the client with Retry-After
 //	                 intact (backpressure is an answer, not a failure)
+//	peer draining  → its /stats advertises the drain; the scrape pulls it
+//	                 off the ring before a single dispatch can fail, and
+//	                 the health probes re-admit it when it comes back
+//	peer stalled   → with -hedge-after set, a dispatch that outlives the
+//	                 threshold races a second request to the next owner;
+//	                 first answer wins, the loser is cancelled
 //	all peers gone → the local farm executes everything; a coordinator
 //	                 degrades to a correct single node
 //
 // The coordinator also scrapes each peer's /stats on a short TTL: queue
 // depth drives placement (a peer at its queue bound is skipped before the
 // wire round-trip, not after), and the scraped gauges are re-exported on
-// /metrics under a peer label.
+// /metrics under a peer label. When probing is enabled, a background loop
+// additionally hits each peer's /healthz so a dead or recovered node flips
+// down/up without waiting for a real dispatch to discover it.
 
 // Peer names one remote bifrost-serve node in the coordinator's ring.
 type Peer struct {
@@ -69,24 +79,87 @@ func WithPeerClient(c *http.Client) ServerOption {
 	}
 }
 
+// WithHedgeAfter enables hedged dispatch: a peer request still unanswered
+// after d races a second request to the next ring owner; the first answer
+// wins and the loser is cancelled. Content-addressed keys make the hedge
+// free of correctness risk — both peers compute (or cache-hit) the same
+// bytes. 0 disables hedging.
+func WithHedgeAfter(d time.Duration) ServerOption {
+	return func(s *Server) { s.peerCfg.HedgeAfter = d }
+}
+
+// WithPeerTimeout bounds how long a peer may hold a dispatch before
+// answering headers. It replaces a blanket client timeout: dials are
+// bounded separately and response bodies may stream as long as they need,
+// so the timeout is purely "how long may a peer think".
+func WithPeerTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.peerCfg.Timeout = d
+		}
+	}
+}
+
+// WithPeerStatsTTL bounds how stale the scraped placement stats may be.
+func WithPeerStatsTTL(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.peerCfg.StatsTTL = d
+		}
+	}
+}
+
+// WithPeerProbes starts a background loop probing each peer's /healthz
+// every interval: consecutive failures flip the peer down (off the ring),
+// a success flips it back up — so membership tracks reality instead of
+// being discovered one failed dispatch at a time. 0 disables the loop.
+func WithPeerProbes(every time.Duration) ServerOption {
+	return func(s *Server) { s.peerCfg.ProbeEvery = every }
+}
+
+// peerConfig collects the coordinator's tunables, all flag-settable.
+type peerConfig struct {
+	HedgeAfter time.Duration // 0: no hedging
+	Timeout    time.Duration // peer response-header bound
+	StatsTTL   time.Duration // placement-stats staleness bound
+	ProbeEvery time.Duration // 0: no active health probes
+}
+
+func defaultPeerConfig() peerConfig {
+	return peerConfig{Timeout: 2 * time.Minute, StatsTTL: 2 * time.Second}
+}
+
 const (
 	// peerTripAfter consecutive forwarding failures quarantine a peer.
 	peerTripAfter = 3
 	// peerProbeEvery is the quarantined peer's re-probe interval: one real
 	// job per interval is risked against it; success re-admits it.
 	peerProbeEvery = 2 * time.Second
-	// peerStatsTTL bounds how stale the scraped placement stats may be.
-	peerStatsTTL = 2 * time.Second
+	// peerDialTimeout bounds connection establishment to a peer; an
+	// unreachable node fails over in seconds, not minutes.
+	peerDialTimeout = 5 * time.Second
+	// healthProbeTimeout bounds one active /healthz probe.
+	healthProbeTimeout = 2 * time.Second
+	// probeDownAfter consecutive failed health probes take a peer off the
+	// ring; the first success puts it back.
+	probeDownAfter = 2
 )
 
 // coordinator owns the ring, the per-peer health and the dispatch loop.
 type coordinator struct {
 	s      *Server
+	cfg    peerConfig
 	ring   *farm.Ring
 	client *http.Client
 	peers  map[string]*peerState
+	names  []string // stable sorted peer names for metrics
 
 	localFallbacks atomic.Int64
+	hedges         atomic.Int64
+	hedgeWins      atomic.Int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
 }
 
 // peerState is one peer's breaker, scrape cache and counters.
@@ -98,6 +171,9 @@ type peerState struct {
 	quarantined bool      // breaker open
 	nextProbe   time.Time // earliest next probe while quarantined
 	trips       int64
+	draining    bool // peer advertised a drain via /stats or /healthz
+	down        bool // active health probes flipped the peer off the ring
+	probeFails  int  // consecutive failed health probes
 
 	statsAt time.Time
 	statsOK bool
@@ -105,7 +181,7 @@ type peerState struct {
 
 	dispatched atomic.Int64 // jobs this peer answered (any terminal status)
 	failovers  atomic.Int64 // jobs moved off this peer after it failed
-	skipped    atomic.Int64 // placements skipped: quarantine or queue bound
+	skipped    atomic.Int64 // placements skipped: quarantine, queue bound, drain
 }
 
 // peerScrape is the slice of a peer's /stats the coordinator acts on.
@@ -113,6 +189,7 @@ type peerScrape struct {
 	Queued      int64 `json:"queued"`
 	BusyWorkers int64 `json:"busy_workers"`
 	Workers     int   `json:"workers"`
+	Draining    bool  `json:"draining"`
 	Ratios      struct {
 		Memory float64 `json:"memory"`
 		Disk   float64 `json:"disk"`
@@ -123,19 +200,44 @@ type peerScrape struct {
 }
 
 func newCoordinator(s *Server, peers []Peer, client *http.Client) *coordinator {
+	cfg := s.peerCfg
 	if client == nil {
-		client = &http.Client{Timeout: 5 * time.Minute}
+		// Dial and response-header bounds instead of a blanket timeout: a
+		// hung or unreachable peer fails over fast, while a legitimately
+		// long simulation may stream its (already started) response body
+		// for as long as it needs.
+		client = &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: peerDialTimeout}).DialContext,
+			ResponseHeaderTimeout: cfg.Timeout,
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       90 * time.Second,
+		}}
 	}
-	c := &coordinator{s: s, ring: farm.NewRing(0), client: client, peers: make(map[string]*peerState, len(peers))}
+	c := &coordinator{
+		s:      s,
+		cfg:    cfg,
+		ring:   farm.NewRing(0),
+		client: client,
+		peers:  make(map[string]*peerState, len(peers)),
+		stopCh: make(chan struct{}),
+	}
 	for _, p := range peers {
 		if p.Name == "" || p.URL == "" {
 			continue
 		}
 		c.ring.Add(p.Name)
 		c.peers[p.Name] = &peerState{name: p.Name, url: p.URL}
+		c.names = append(c.names, p.Name)
+	}
+	sort.Strings(c.names)
+	if cfg.ProbeEvery > 0 {
+		go c.probeLoop()
 	}
 	return c
 }
+
+// stop ends the coordinator's background probe loop.
+func (c *coordinator) stop() { c.stopOnce.Do(func() { close(c.stopCh) }) }
 
 // admit reports whether a peer may receive a job right now: always when
 // healthy, once per probe interval when quarantined.
@@ -175,6 +277,41 @@ func (ps *peerState) fail(now time.Time) {
 	ps.mu.Unlock()
 }
 
+// barred reports whether the peer is out of placement entirely: draining
+// or probed down. Unlike the breaker (which risks one real job per probe
+// interval), a barred peer receives nothing until the health probes or a
+// fresh scrape clear it.
+func (ps *peerState) barred() bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.draining || ps.down
+}
+
+// syncRing reconciles the peer's ring membership with its state: on the
+// ring iff neither draining nor down.
+func (c *coordinator) syncRing(ps *peerState) {
+	ps.mu.Lock()
+	want := !ps.draining && !ps.down
+	ps.mu.Unlock()
+	if want {
+		c.ring.Add(ps.name)
+	} else {
+		c.ring.Remove(ps.name)
+	}
+}
+
+// noteDraining applies a drain advertisement scraped from the peer's
+// /stats, proactively removing (or re-admitting) it from the ring.
+func (c *coordinator) noteDraining(ps *peerState, draining bool) {
+	ps.mu.Lock()
+	changed := ps.draining != draining
+	ps.draining = draining
+	ps.mu.Unlock()
+	if changed {
+		c.syncRing(ps)
+	}
+}
+
 // overloaded consults the peer's scraped stats: a peer already at its queue
 // bound would only answer 429, so the coordinator routes past it — the same
 // redistribution path a dead peer takes, driven by backpressure telemetry
@@ -186,10 +323,11 @@ func (c *coordinator) overloaded(ps *peerState) bool {
 
 // scrape returns the peer's stats, refreshing over the wire at most once
 // per TTL. A failed scrape is not breaker food — placement just proceeds
-// without the hint.
+// without the hint. A successful scrape also carries the peer's draining
+// advertisement, which drives ring membership.
 func (c *coordinator) scrape(ps *peerState) (peerScrape, bool) {
 	ps.mu.Lock()
-	if time.Since(ps.statsAt) < peerStatsTTL {
+	if time.Since(ps.statsAt) < c.cfg.StatsTTL {
 		st, ok := ps.stats, ps.statsOK
 		ps.mu.Unlock()
 		return st, ok
@@ -211,14 +349,78 @@ func (c *coordinator) scrape(ps *peerState) (peerScrape, bool) {
 	ps.mu.Lock()
 	ps.stats, ps.statsOK = st, ok
 	ps.mu.Unlock()
+	if ok {
+		c.noteDraining(ps, st.Draining)
+	}
 	return st, ok
+}
+
+// probeLoop actively probes every peer's /healthz on a timer, flipping
+// peers down after consecutive failures and back up on the first success —
+// so a restarted or recovered node rejoins the ring without waiting for a
+// placement to happen to scrape it.
+func (c *coordinator) probeLoop() {
+	t := time.NewTicker(c.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			for _, name := range c.names {
+				c.probe(c.peers[name])
+			}
+		}
+	}
+}
+
+// probe runs one active health check against a peer. A 200 clears both the
+// down and draining marks (a draining node answers 503, so a healthy
+// answer is proof the drain ended); anything else counts toward down.
+func (c *coordinator) probe(ps *peerState) {
+	ctx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ps.url+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	healthy := false
+	if resp, err := c.client.Do(req); err == nil {
+		healthy = resp.StatusCode == http.StatusOK
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+	ps.mu.Lock()
+	if healthy {
+		ps.probeFails = 0
+		ps.down = false
+		ps.draining = false
+	} else {
+		ps.probeFails++
+		if ps.probeFails >= probeDownAfter {
+			ps.down = true
+		}
+	}
+	ps.mu.Unlock()
+	c.syncRing(ps)
+}
+
+// placeable decides whether a placement may try this peer right now, and
+// accounts the skip if not. overloaded runs first so its scrape can learn
+// a drain advertisement this very placement acts on.
+func (c *coordinator) placeable(ps *peerState, now time.Time) bool {
+	if !ps.admit(now) || c.overloaded(ps) || ps.barred() {
+		ps.skipped.Add(1)
+		return false
+	}
+	return true
 }
 
 // run dispatches one request across the ring. The job's content key decides
 // its owner; owners are tried in the ring's deterministic failover order,
-// skipping quarantined and queue-bound peers; if every owner is out, the
-// local farm executes the job — the coordinator never refuses work a
-// single node could do.
+// skipping quarantined, queue-bound and draining peers; if every owner is
+// out, the local farm executes the job — the coordinator never refuses
+// work a single node could do.
 func (c *coordinator) run(ctx context.Context, req JobRequest) JobResponse {
 	start := time.Now()
 	job, err := req.Job()
@@ -230,11 +432,15 @@ func (c *coordinator) run(ctx context.Context, req JobRequest) JobResponse {
 		return c.s.annotate(JobResponse{Error: err.Error(), ElapsedMS: msSince(start), err: err})
 	}
 
+	owners := c.ring.Owners(key, c.ring.Len())
+	if c.cfg.HedgeAfter > 0 {
+		return c.runHedged(ctx, req, key, owners, start)
+	}
+
 	now := time.Now()
-	for _, name := range c.ring.Owners(key, c.ring.Len()) {
+	for _, name := range owners {
 		ps := c.peers[name]
-		if !ps.admit(now) || c.overloaded(ps) {
-			ps.skipped.Add(1)
+		if !c.placeable(ps, now) {
 			continue
 		}
 		resp, terminal := c.forward(ctx, ps, req, key, start)
@@ -250,14 +456,91 @@ func (c *coordinator) run(ctx context.Context, req JobRequest) JobResponse {
 
 	// Redistribution's last hop: the shard lands on the local farm.
 	c.localFallbacks.Add(1)
-	resp := c.s.run(ctx, req)
-	return resp
+	return c.s.run(ctx, req)
+}
+
+// runHedged is the dispatch loop with hedging enabled: the primary owner
+// gets the job, and if it has not answered within the hedge threshold the
+// next placeable owner races it. The first terminal answer wins and every
+// other attempt is cancelled; a non-terminal failure is replaced by the
+// next candidate immediately. Content addressing makes the race safe —
+// whichever peer answers, the bytes are identical.
+func (c *coordinator) runHedged(ctx context.Context, req JobRequest, key string, owners []string, start time.Time) JobResponse {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels every losing attempt
+
+	type attempt struct {
+		resp     JobResponse
+		terminal bool
+		ps       *peerState
+		hedged   bool
+	}
+	results := make(chan attempt, len(owners)+1)
+	next, inflight := 0, 0
+	launch := func(hedged bool) bool {
+		now := time.Now()
+		for next < len(owners) {
+			ps := c.peers[owners[next]]
+			next++
+			if !c.placeable(ps, now) {
+				continue
+			}
+			inflight++
+			go func(ps *peerState, hedged bool) {
+				resp, terminal := c.forward(hctx, ps, req, key, start)
+				results <- attempt{resp: resp, terminal: terminal, ps: ps, hedged: hedged}
+			}(ps, hedged)
+			return true
+		}
+		return false
+	}
+
+	if !launch(false) {
+		c.localFallbacks.Add(1)
+		return c.s.run(ctx, req)
+	}
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	hedged := false
+	for inflight > 0 {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				if launch(true) {
+					c.hedges.Add(1)
+				}
+			}
+		case a := <-results:
+			inflight--
+			if a.terminal {
+				if a.hedged {
+					c.hedgeWins.Add(1)
+					if a.resp.Trace != nil {
+						a.resp.Trace.Hedged = true
+					}
+				}
+				return a.resp
+			}
+			a.ps.failovers.Add(1)
+			if ctx.Err() != nil {
+				return c.s.annotate(JobResponse{Key: key, Error: ctx.Err().Error(), ElapsedMS: msSince(start), err: ctx.Err()})
+			}
+			// Replace the failed attempt so the job keeps the same number
+			// of irons in the fire.
+			launch(a.hedged)
+		}
+	}
+	c.localFallbacks.Add(1)
+	return c.s.run(ctx, req)
 }
 
 // forward sends the job to one peer and shapes the reply. terminal=false
 // means the peer could not answer (network failure or 5xx) and the caller
 // should fail over; every real answer — success, backpressure, deadline,
-// invalid job — is terminal and propagates.
+// invalid job — is terminal and propagates. A failure caused by our own
+// context (client gone, or a hedge race this attempt lost) is not breaker
+// food: the peer did nothing wrong.
 func (c *coordinator) forward(ctx context.Context, ps *peerState, req JobRequest, key string, start time.Time) (JobResponse, bool) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -270,7 +553,9 @@ func (c *coordinator) forward(ctx context.Context, ps *peerState, req JobRequest
 	hreq.Header.Set("Content-Type", "application/json")
 	hresp, err := c.client.Do(hreq)
 	if err != nil {
-		ps.fail(time.Now())
+		if ctx.Err() == nil {
+			ps.fail(time.Now())
+		}
 		return JobResponse{}, false
 	}
 	defer func() {
@@ -284,7 +569,9 @@ func (c *coordinator) forward(ctx context.Context, ps *peerState, req JobRequest
 	switch {
 	case hresp.StatusCode == http.StatusOK:
 		if decodeErr != nil {
-			ps.fail(time.Now())
+			if ctx.Err() == nil {
+				ps.fail(time.Now())
+			}
 			return JobResponse{}, false
 		}
 		ps.ok()
@@ -313,9 +600,17 @@ func (c *coordinator) forward(ctx context.Context, ps *peerState, req JobRequest
 		}
 		resp.err = errors.New(resp.Error)
 		resp = c.s.annotate(resp)
+	case hresp.StatusCode == http.StatusServiceUnavailable && resp.Code == "draining":
+		// The peer told us it is draining mid-flight: remember it so the
+		// next placement skips it, and fail this job over without feeding
+		// the breaker — a draining node is healthy, just leaving.
+		c.noteDraining(ps, true)
+		return JobResponse{}, false
 	default:
-		// 503 (draining), other 5xx, or garbage: this peer cannot answer.
-		ps.fail(time.Now())
+		// Other 5xx, or garbage: this peer cannot answer.
+		if ctx.Err() == nil {
+			ps.fail(time.Now())
+		}
 		return JobResponse{}, false
 	}
 
@@ -337,9 +632,11 @@ func (c *coordinator) forward(ctx context.Context, ps *peerState, req JobRequest
 	return resp, true
 }
 
-// writeMetrics appends the coordinator's exposition families: per-peer
-// dispatch counters and health, plus the scraped placement gauges under the
-// same peer label.
+// writeMetrics appends the coordinator's exposition families: ring and
+// hedge counters, per-peer dispatch counters and health, plus the scraped
+// placement gauges under the same peer label. Per-peer families cover every
+// configured peer, including ones currently off the ring — that is exactly
+// when an operator needs to see them.
 func (c *coordinator) writeMetrics(w io.Writer) {
 	one := func(v float64) []telemetry.Sample { return []telemetry.Sample{{Value: v}} }
 	telemetry.WriteSamples(w, "bifrost_coordinator_ring_members",
@@ -347,11 +644,16 @@ func (c *coordinator) writeMetrics(w io.Writer) {
 	telemetry.WriteSamples(w, "bifrost_coordinator_local_fallbacks_total",
 		"Jobs the local farm absorbed because every owning peer was unavailable.", "counter",
 		one(float64(c.localFallbacks.Load()))...)
+	telemetry.WriteSamples(w, "bifrost_peer_hedges_total",
+		"Hedged second dispatches issued after the hedge threshold.", "counter",
+		one(float64(c.hedges.Load()))...)
+	telemetry.WriteSamples(w, "bifrost_peer_hedge_wins_total",
+		"Hedged dispatches that answered before the primary.", "counter",
+		one(float64(c.hedgeWins.Load()))...)
 
-	names := c.ring.Members()
 	perPeer := func(suffix, help, typ string, pick func(*peerState) float64) {
-		samples := make([]telemetry.Sample, 0, len(names))
-		for _, n := range names {
+		samples := make([]telemetry.Sample, 0, len(c.names))
+		for _, n := range c.names {
 			samples = append(samples, telemetry.Sample{
 				Labels: []telemetry.Label{{Name: "peer", Value: n}},
 				Value:  pick(c.peers[n]),
@@ -359,19 +661,27 @@ func (c *coordinator) writeMetrics(w io.Writer) {
 		}
 		telemetry.WriteSamples(w, suffix, help, typ, samples...)
 	}
-	perPeer("bifrost_peer_up", "1 while the peer is admitted, 0 while quarantined.", "gauge", func(ps *peerState) float64 {
+	perPeer("bifrost_peer_up", "1 while the peer is admitted, 0 while quarantined, down or draining.", "gauge", func(ps *peerState) float64 {
 		ps.mu.Lock()
 		defer ps.mu.Unlock()
-		if ps.quarantined {
+		if ps.quarantined || ps.down || ps.draining {
 			return 0
 		}
 		return 1
+	})
+	perPeer("bifrost_peer_draining", "1 while the peer advertises a drain.", "gauge", func(ps *peerState) float64 {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		if ps.draining {
+			return 1
+		}
+		return 0
 	})
 	perPeer("bifrost_peer_dispatched_total", "Jobs this peer answered terminally.", "counter",
 		func(ps *peerState) float64 { return float64(ps.dispatched.Load()) })
 	perPeer("bifrost_peer_failovers_total", "Jobs moved off this peer after it failed.", "counter",
 		func(ps *peerState) float64 { return float64(ps.failovers.Load()) })
-	perPeer("bifrost_peer_skipped_total", "Placements that skipped this peer (quarantine or queue bound).", "counter",
+	perPeer("bifrost_peer_skipped_total", "Placements that skipped this peer (quarantine, queue bound or drain).", "counter",
 		func(ps *peerState) float64 { return float64(ps.skipped.Load()) })
 	perPeer("bifrost_peer_breaker_trips_total", "Times this peer's breaker opened.", "counter", func(ps *peerState) float64 {
 		ps.mu.Lock()

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/farm"
+	"repro/internal/farm/farmtest"
+)
+
+// TestShutdownDrainLifecycle walks the whole drain contract on one node:
+// ready → POST /drain → liveness and readiness flip to 503, new work is
+// refused with the machine-readable code, /stats and /metrics advertise
+// the state, main's wait channel fires, and a second drain is a no-op.
+func TestShutdownDrainLifecycle(t *testing.T) {
+	fm := farm.New(2)
+	srv := NewServer(fm)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); fm.Close() })
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, readAll(t, resp)
+	}
+
+	// Healthy node: live, ready, nothing draining.
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", resp.StatusCode)
+	}
+	resp, body := get("/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("readyz before drain: %d %s", resp.StatusCode, body)
+	}
+	select {
+	case <-srv.DrainRequested():
+		t.Fatal("DrainRequested fired before any drain")
+	default:
+	}
+
+	// Flip the node.
+	dresp, err := http.Post(ts.URL+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr DrainResponse
+	if err := json.NewDecoder(dresp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || !dr.Draining {
+		t.Fatalf("POST /drain: %d %+v", dresp.StatusCode, dr)
+	}
+	select {
+	case <-srv.DrainRequested():
+	default:
+		t.Fatal("DrainRequested did not fire after POST /drain")
+	}
+
+	// Liveness and readiness both go false, with the reason visible.
+	if resp, body := get("/healthz"); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("healthz while draining: %d %q", resp.StatusCode, body)
+	}
+	resp, _ = get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d", resp.StatusCode)
+	}
+	var ready ReadyResponse
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(rresp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if ready.Ready || len(ready.Reasons) != 1 || ready.Reasons[0] != "draining" {
+		t.Fatalf("readyz payload while draining: %+v", ready)
+	}
+
+	// New work is refused with the machine-readable, retryable code.
+	for _, path := range []string{"/simulate", "/batch"} {
+		wresp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(dryBody(1, "")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr JobResponse
+		if err := json.NewDecoder(wresp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		wresp.Body.Close()
+		if wresp.StatusCode != http.StatusServiceUnavailable || jr.Code != "draining" || !jr.Retryable {
+			t.Fatalf("POST %s while draining: %d %+v", path, wresp.StatusCode, jr)
+		}
+		if wresp.Header.Get("Retry-After") == "" {
+			t.Errorf("POST %s while draining: no Retry-After header", path)
+		}
+	}
+
+	// Observability: /stats and /metrics advertise the drain; read paths
+	// stay up so coordinators and operators can watch it finish.
+	resp, _ = get("/stats")
+	var st StatsResponse
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !st.Draining {
+		t.Fatal("/stats does not advertise draining")
+	}
+	if _, body := get("/metrics"); !strings.Contains(body, "bifrost_draining 1") || !strings.Contains(body, "bifrost_ready 0") {
+		t.Fatal("/metrics missing bifrost_draining 1 / bifrost_ready 0")
+	}
+
+	// Draining again is harmless.
+	d2, err := http.Post(ts.URL+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Body.Close()
+	if d2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST /drain: %d", d2.StatusCode)
+	}
+}
+
+// TestShutdownReadyzDegradedDisk proves readiness is more than the drain
+// bit: a quarantined disk tier flips /readyz to 503 with the
+// "disk_degraded" reason while liveness stays green.
+func TestShutdownReadyzDegradedDisk(t *testing.T) {
+	ds, err := farm.NewDiskStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := farmtest.NewFaultStore(ds, farmtest.FaultPolicy{ErrRate: 1, Seed: 9})
+	fm := farm.New(2, farm.WithDiskStore(farm.NewRetryStore(fs, farmtest.TestRetryPolicy())))
+	ts := httptest.NewServer(NewServer(fm))
+	t.Cleanup(func() { ts.Close(); fm.Close() })
+
+	// Trip the disk breaker (TripAfter 3) — jobs still succeed.
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(dryBody(300+i, "")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %d during disk outage: %d", i, resp.StatusCode)
+		}
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz with a degraded disk: %d, want 200 (still alive)", hresp.StatusCode)
+	}
+
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready ReadyResponse
+	if err := json.NewDecoder(rresp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable || ready.Ready {
+		t.Fatalf("readyz with a degraded disk: %d %+v", rresp.StatusCode, ready)
+	}
+	found := false
+	for _, r := range ready.Reasons {
+		if r == "disk_degraded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("readyz reasons %v missing disk_degraded", ready.Reasons)
+	}
+}

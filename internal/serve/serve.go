@@ -6,12 +6,18 @@
 //
 //	POST /simulate      one job  (JSON object  → JSON object)
 //	POST /batch         a sweep  (JSON {"jobs": [...]} → {"results": [...]},
-//	                    or NDJSON: one job per line → one result per line)
+//	                    or NDJSON: one job per line → one result per line);
+//	                    ?sweep_id=<id> makes the sweep resumable: it keeps
+//	                    computing after a client disconnect, journals every
+//	                    completed row, and &resume=true replays journaled
+//	                    rows from cache and streams only the remainder
 //	GET  /stats         farm scheduler + cache metrics + telemetry rollups
 //	GET  /metrics       Prometheus text exposition of every metric family
 //	GET  /version       build, toolchain, SIMD level and configured bounds
 //	GET  /debug/traces  bounded ring of recent per-job lifecycle traces
-//	GET  /healthz       liveness probe
+//	GET  /healthz       liveness probe (503 once draining)
+//	GET  /readyz        readiness probe (draining, disk degraded, queue full)
+//	POST /drain         flip to draining: refuse new work, finish the queue
 //
 // Operand tensors are generated server-side from the request seed, so a job
 // is a small, reproducible description — the same request always hits the
@@ -34,8 +40,10 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -327,9 +335,17 @@ type Server struct {
 	slowJob  time.Duration
 	ring     *telemetry.TraceRing
 
-	peerList   []Peer
+	peerList     []Peer
 	peerClient *http.Client
 	coord      *coordinator
+	peerCfg    peerConfig
+
+	sweepDir string
+	sweeps   *sweepRegistry
+
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
 
 	inflight   *telemetry.Gauge
 	reqSeconds map[string]*telemetry.Histogram
@@ -368,10 +384,17 @@ func WithSlowJobThreshold(d time.Duration) ServerOption { return func(s *Server)
 // endpoint reports zero traces.
 func WithTraceRing(r *telemetry.TraceRing) ServerOption { return func(s *Server) { s.ring = r } }
 
+// WithSweepDir sets the directory where resumable sweeps journal their
+// completed rows, surviving process restarts. Empty keeps journals
+// in-process only: sweeps still survive client disconnects and stay
+// resumable for the life of the server, but not across a restart.
+func WithSweepDir(dir string) ServerOption { return func(s *Server) { s.sweepDir = dir } }
+
 // NewServer returns an http.Handler serving the bifrost-serve API on the
 // given farm.
 func NewServer(f *farm.Farm, opts ...ServerOption) *Server {
-	s := &Server{farm: f, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{farm: f, mux: http.NewServeMux(), started: time.Now(), drainCh: make(chan struct{})}
+	s.peerCfg = defaultPeerConfig()
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -381,6 +404,7 @@ func NewServer(f *farm.Farm, opts ...ServerOption) *Server {
 	if s.ring == nil {
 		s.ring = f.Ring()
 	}
+	s.sweeps = newSweepRegistry(s.sweepDir)
 	if len(s.peerList) > 0 {
 		s.coord = newCoordinator(s, s.peerList, s.peerClient)
 	}
@@ -390,18 +414,113 @@ func NewServer(f *farm.Farm, opts ...ServerOption) *Server {
 	s.reqSeconds = make(map[string]*telemetry.Histogram)
 	s.route("POST", "/simulate", s.handleSimulate)
 	s.route("POST", "/batch", s.handleBatch)
+	s.route("POST", "/drain", s.handleDrain)
 	s.route("GET", "/stats", s.handleStats)
 	s.route("GET", "/metrics", s.handleMetrics)
 	s.route("GET", "/version", s.handleVersion)
 	s.route("GET", "/debug/traces", s.handleTraces)
-	s.route("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
-	})
+	s.route("GET", "/healthz", s.handleHealthz)
+	s.route("GET", "/readyz", s.handleReadyz)
 	// The peer wire protocol: this node's result cache, readable and
 	// writable by other nodes under the versioned codec handshake.
 	s.mux.Handle("/peer/", farm.PeerHandler(f))
 	return s
+}
+
+// Close releases the server's background resources (the coordinator's
+// health-probe loop). The farm is owned by the caller and not touched.
+func (s *Server) Close() {
+	if s.coord != nil {
+		s.coord.stop()
+	}
+}
+
+// BeginDrain flips the node into draining: liveness stays up long enough
+// for load balancers to observe readiness going false, /healthz and
+// /readyz report 503, new work is refused with the machine-readable
+// "draining" code, and /stats advertises the state so coordinators remove
+// this node from their rings before a single dispatch fails. Queued work
+// is unaffected — the caller finishes it via farm.Shutdown. Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainRequested returns a channel closed when the node begins draining —
+// main selects on it next to the signal channel so POST /drain and SIGTERM
+// share one shutdown path.
+func (s *Server) DrainRequested() <-chan struct{} { return s.drainCh }
+
+// DrainResponse is the POST /drain payload: the work still owed at the
+// moment the node flipped.
+type DrainResponse struct {
+	Draining bool  `json:"draining"`
+	Queued   int64 `json:"queued"`
+	Pending  int64 `json:"pending"`
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.BeginDrain()
+	st := s.farm.Stats()
+	writeJSON(w, http.StatusOK, DrainResponse{Draining: true, Queued: st.Queued, Pending: st.Pending})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		// Liveness goes false on drain so plain health-checking load
+		// balancers (no readiness notion) also stop routing here.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// readiness distinguishes "alive" from "should receive new work": a
+// draining node, a node whose disk tier is quarantined, or one at its
+// queue bound is alive but not ready.
+func (s *Server) readiness() (bool, []string) {
+	var reasons []string
+	if s.Draining() {
+		reasons = append(reasons, "draining")
+	}
+	st := s.farm.Stats()
+	if st.Disk != nil && st.Disk.Degraded {
+		reasons = append(reasons, "disk_degraded")
+	}
+	if lim := s.farm.Limits(); lim.MaxQueue > 0 && st.Queued >= int64(lim.MaxQueue) {
+		reasons = append(reasons, "queue_saturated")
+	}
+	return len(reasons) == 0, reasons
+}
+
+// ReadyResponse is the GET /readyz payload.
+type ReadyResponse struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, reasons := s.readiness()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ReadyResponse{Ready: ready, Reasons: reasons})
+}
+
+// refuseDraining answers new work on a draining node: 503 with the
+// machine-readable code so sweep clients retry against another node.
+func (s *Server) refuseDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable,
+		JobResponse{Error: "node is draining", Code: "draining", Retryable: true})
 }
 
 // fanout bounds a batch's concurrent in-flight jobs. Twice the worker pool
@@ -461,7 +580,7 @@ func (r *statusRecorder) Flush() {
 // traffic in the log.
 func (s *Server) instrument(endpoint string, hist *telemetry.Histogram, h http.HandlerFunc) http.HandlerFunc {
 	level := slog.LevelInfo
-	if endpoint == "/healthz" || endpoint == "/metrics" {
+	if endpoint == "/healthz" || endpoint == "/readyz" || endpoint == "/metrics" {
 		level = slog.LevelDebug
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -567,6 +686,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.refuseDraining(w)
+		return
+	}
 	var req JobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, JobResponse{Error: "decoding job: " + err.Error()})
@@ -628,8 +751,27 @@ type BatchResponse struct {
 // concurrently through the farm. NDJSON requests stream NDJSON responses,
 // one line per job, in order.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.refuseDraining(w)
+		return
+	}
 	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	ndjson := ctype == "application/x-ndjson" || ctype == "application/jsonlines"
+
+	query := r.URL.Query()
+	sweepID := query.Get("sweep_id")
+	resume := false
+	if v := query.Get("resume"); v != "" {
+		var err error
+		if resume, err = strconv.ParseBool(v); err != nil {
+			writeJSON(w, http.StatusBadRequest, JobResponse{Error: "resume must be a boolean: " + err.Error()})
+			return
+		}
+	}
+	if resume && sweepID == "" {
+		writeJSON(w, http.StatusBadRequest, JobResponse{Error: "resume=true needs a sweep_id"})
+		return
+	}
 
 	var reqs []JobRequest
 	if ndjson {
@@ -660,6 +802,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		reqs = batch.Jobs
+	}
+
+	if sweepID != "" {
+		run, err := s.attachSweep(sweepID, reqs, resume)
+		if err != nil {
+			writeJSON(w, http.StatusConflict, JobResponse{Error: err.Error(), Code: "sweep_conflict"})
+			return
+		}
+		if ndjson {
+			s.streamSweep(w, r.Context(), run)
+		} else {
+			s.collectSweep(w, r.Context(), run)
+		}
+		return
 	}
 
 	if ndjson {
@@ -767,6 +923,13 @@ type StatsResponse struct {
 	// TracesRecorded counts lifecycle traces captured into the debug ring.
 	TracesRecorded uint64  `json:"traces_recorded"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+	// Draining reports that this node has begun draining; a coordinator's
+	// stats scrape uses it to pull the node off the ring before any
+	// dispatch to it can fail.
+	Draining bool `json:"draining"`
+	// ActiveSweeps counts resumable sweeps currently executing (including
+	// sweeps whose client has disconnected).
+	ActiveSweeps int `json:"active_sweeps"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -784,6 +947,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Limits:         s.farm.Limits(),
 		TracesRecorded: s.ring.Total(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Draining:       s.Draining(),
+		ActiveSweeps:   s.sweeps.activeSweeps(),
 	}
 	if st.Disk != nil {
 		resp.Ratios.Disk = st.Disk.HitRatio()
@@ -888,6 +1053,26 @@ func (s *Server) writeFarmMetrics(w io.Writer) {
 	telemetry.WriteSamples(w, "bifrost_pack_cache_hit_ratio", "Packed-operand hit ratio.", "gauge", one(telemetry.Ratio(pk.Hits, pk.Misses))...)
 
 	telemetry.WriteSamples(w, "bifrost_traces_recorded_total", "Lifecycle traces captured into the debug ring.", "counter", one(float64(s.ring.Total()))...)
+
+	bit := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	ready, _ := s.readiness()
+	telemetry.WriteSamples(w, "bifrost_draining",
+		"1 while the node is draining (new work refused, queued work finishing).",
+		"gauge", one(bit(s.Draining()))...)
+	telemetry.WriteSamples(w, "bifrost_ready",
+		"1 while the node is ready for new work (not draining, disk tier healthy, queue below bound).",
+		"gauge", one(bit(ready))...)
+	telemetry.WriteSamples(w, "bifrost_active_sweeps",
+		"Resumable sweeps currently executing.",
+		"gauge", one(float64(s.sweeps.activeSweeps()))...)
+	telemetry.WriteSamples(w, "bifrost_sweep_rows_replayed_total",
+		"Sweep rows answered from the journal and cache instead of recomputing.",
+		"counter", one(float64(s.sweeps.replayed.Load()))...)
 }
 
 // VersionInfo is the GET /version payload.
