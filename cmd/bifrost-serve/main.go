@@ -108,56 +108,24 @@ func parsePeers(s string) ([]serve.Peer, error) {
 	return peers, nil
 }
 
-// chainStore composes remote tiers: lookups try each peer in order (first
-// hit wins), stores replicate to all, so any one reachable peer can answer.
-func chainStore(tiers []farm.Store) farm.Store {
-	if len(tiers) == 1 {
-		return tiers[0]
-	}
-	return chainedStore(tiers)
+// peerName derives a replica's ring identity from its base URL: the
+// host:port, matching both -peers' default naming and how other nodes
+// reference this one — every node derives the same owner set for a key.
+func peerName(rawurl string) string {
+	name := strings.TrimPrefix(strings.TrimPrefix(rawurl, "https://"), "http://")
+	return strings.TrimRight(name, "/")
 }
 
-type chainedStore []farm.Store
-
-func (c chainedStore) Get(key string) (farm.Result, bool) {
-	for _, s := range c {
-		if res, ok := s.Get(key); ok {
-			return res, true
-		}
+// selfRingName normalises the listen address into the identity peers use
+// for this node, so the replica ring can recognise itself among a key's
+// owners. A host-less ":8087" is assumed reachable as localhost (correct
+// for single-host clusters; multi-host deployments should listen on an
+// explicit host).
+func selfRingName(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "localhost" + addr
 	}
-	return farm.Result{}, false
-}
-
-func (c chainedStore) Put(key string, res farm.Result) {
-	for _, s := range c {
-		s.Put(key, res)
-	}
-}
-
-func (c chainedStore) Stats() farm.StoreStats {
-	var agg farm.StoreStats
-	for _, s := range c {
-		st := s.Stats()
-		agg.Hits += st.Hits
-		agg.Misses += st.Misses
-		agg.Puts += st.Puts
-		agg.Corrupt += st.Corrupt
-		agg.Errors += st.Errors
-		agg.Retries += st.Retries
-		agg.Trips += st.Trips
-		agg.Degraded = agg.Degraded || st.Degraded
-	}
-	return agg
-}
-
-func (c chainedStore) Close() error {
-	var first error
-	for _, s := range c {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return addr
 }
 
 func main() {
@@ -189,6 +157,9 @@ func main() {
 		peerTO     = flag.Duration("peer-timeout", 2*time.Minute, "coordinator per-dispatch response-header bound: a peer that has not begun answering within it fails over (dials are bounded separately)")
 		statsTTL   = flag.Duration("peer-stats-ttl", 2*time.Second, "coordinator placement-stats staleness bound: each peer's /stats is re-scraped at most once per TTL")
 		peerProbe  = flag.Duration("peer-probe", 5*time.Second, "coordinator active health-probe interval: each peer's /healthz is probed on this timer, flipping it off/on the ring (0 = probe only via dispatch failures)")
+		replicas   = flag.Int("replicas", 2, "result-replication factor R with -peer-store: each result is written to the first R distinct ring owners (clamped to cluster size)")
+		scrubEvery = flag.Duration("scrub-interval", 10*time.Minute, "background disk-scrub pass interval: re-verify every cached frame's CRC, delete corrupt entries and refill them from replicas (0 = disabled; requires -cache-dir)")
+		rebalRate  = flag.Int("rebalance-rate", 128, "anti-entropy pacing with -peer-store: keys per second streamed to new owners after ring churn")
 	)
 	flag.Parse()
 
@@ -221,27 +192,29 @@ func main() {
 	if *traceRing > 0 {
 		opts = append(opts, farm.WithTraceRing(telemetry.NewTraceRing(*traceRing)))
 	}
-	if *cacheDir != "" && *peerStore != "" {
-		log.Fatal("-cache-dir and -peer-store both claim the persistent tier; configure one")
+	if *replicas < 1 {
+		log.Fatal("-replicas must be at least 1")
 	}
+	// The persistent slot composes: a local disk tier (-cache-dir) chained
+	// before remote peers (-peer-store), each behind its own retry wrapper
+	// so a flaky disk or unreachable peer is retried, quarantined and
+	// re-probed without stalling workers. With both, the replicated store
+	// fans writes to the key's R ring owners, serves reads local-first with
+	// read-repair, and rebalances ownership changes in the background.
+	var local *farm.RetryStore
 	if *cacheDir != "" {
 		ds, err := farm.NewDiskStore(*cacheDir, *diskMax)
 		if err != nil {
 			log.Fatal(err)
 		}
-		// The retry wrapper keeps a flaky disk from stalling workers: brief
-		// I/O errors are retried, a persistently failing tier is quarantined
-		// (the farm degrades to memory-only, still byte-identical) and
-		// re-probed until it recovers.
-		opts = append(opts, farm.WithDiskStore(farm.NewRetryStore(ds, farm.DefaultRetryPolicy())))
+		local = farm.NewRetryStore(ds, farm.DefaultRetryPolicy())
 		log.Printf("persistent cache at %s (%d entries, %d bytes warm)",
 			ds.Dir(), ds.Stats().Entries, ds.Stats().Bytes)
 	}
+	var repl *farm.ReplicatedStore
 	if *peerStore != "" {
-		// Remote cache tier: each peer sits behind its own retry wrapper, so
-		// an unreachable peer is retried, quarantined and re-probed exactly
-		// like a failing disk while the farm keeps answering locally.
-		var tiers []farm.Store
+		var members []farm.ReplicaMember
+		seen := make(map[string]bool)
 		for _, u := range strings.Split(*peerStore, ",") {
 			if u = strings.TrimSpace(u); u == "" {
 				continue
@@ -249,12 +222,30 @@ func main() {
 			if !strings.Contains(u, "://") {
 				u = "http://" + u
 			}
-			tiers = append(tiers, farm.NewRetryStore(farm.NewPeerStore(strings.TrimRight(u, "/")), farm.DefaultRetryPolicy()))
+			u = strings.TrimRight(u, "/")
+			name := peerName(u)
+			if seen[name] {
+				log.Fatalf("duplicate peer %q in -peer-store", name)
+			}
+			seen[name] = true
+			members = append(members, farm.ReplicaMember{
+				Name:  name,
+				Store: farm.NewRetryStore(farm.NewPeerStore(u), farm.DefaultRetryPolicy()),
+			})
 		}
-		if len(tiers) > 0 {
-			opts = append(opts, farm.WithDiskStore(chainStore(tiers)))
-			log.Printf("remote cache tier over %d peer(s)", len(tiers))
+		if len(members) > 0 {
+			var localTier farm.Store
+			if local != nil {
+				localTier = local // keep a nil interface when there is no disk tier
+			}
+			repl = farm.NewReplicatedStore(localTier, selfRingName(*addr), *replicas, members,
+				farm.WithRebalanceRate(*rebalRate))
+			opts = append(opts, farm.WithDiskStore(repl))
+			log.Printf("replicated result tier: %d peer(s), R=%d, self %q", len(members), *replicas, selfRingName(*addr))
 		}
+	}
+	if repl == nil && local != nil {
+		opts = append(opts, farm.WithDiskStore(local))
 	}
 	if *warm && *cacheDir == "" {
 		log.Fatal("-cache-warm requires -cache-dir")
@@ -263,6 +254,21 @@ func main() {
 	if *warm {
 		n := fm.Warm()
 		log.Printf("warmed %d cached results into memory", n)
+	}
+	// The scrubber patrols the local disk tier for at-rest corruption;
+	// with replication it refills what it deletes from the key's replicas.
+	var scrubber *farm.Scrubber
+	if *scrubEvery > 0 && local != nil {
+		var repair func(key string) (farm.Result, bool)
+		if repl != nil {
+			repair = repl.GetRemote
+		}
+		if repl != nil {
+			scrubber = farm.NewScrubber(repl, *scrubEvery, repair)
+		} else {
+			scrubber = farm.NewScrubber(local, *scrubEvery, repair)
+		}
+		log.Printf("disk scrubber: one pass every %s", *scrubEvery)
 	}
 	if *sweepDir == "" && *cacheDir != "" {
 		*sweepDir = *cacheDir + "/sweeps"
@@ -274,6 +280,12 @@ func main() {
 		serve.WithTraceAll(*traceAll),
 		serve.WithSlowJobThreshold(*slowJob),
 		serve.WithSweepDir(*sweepDir),
+	}
+	if repl != nil {
+		sopts = append(sopts, serve.WithReplicatedStore(repl))
+	}
+	if scrubber != nil {
+		sopts = append(sopts, serve.WithScrubber(scrubber))
 	}
 	if *sweepDir != "" {
 		log.Printf("resumable-sweep journals at %s", *sweepDir)
@@ -335,6 +347,9 @@ func main() {
 
 	drain := func() {
 		api.BeginDrain() // idempotent: already set when POST /drain led here
+		if scrubber != nil {
+			scrubber.Stop() // a scrub pass must not race the tier teardown
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := fm.Shutdown(ctx); err != nil {
@@ -349,6 +364,9 @@ func main() {
 
 	select {
 	case err := <-done:
+		if scrubber != nil {
+			scrubber.Stop()
+		}
 		api.Close()
 		fm.Close()
 		if err != nil {

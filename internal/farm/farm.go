@@ -780,6 +780,59 @@ func (f *Farm) CachePut(key string, res Result) {
 	}
 }
 
+// localStore is the optional capability a composed disk tier (a
+// *ReplicatedStore) exposes so the peer wire protocol can be confined to
+// this node's own storage: a peer's GET answered from a third replica
+// would bounce lookups around the ring, and a peer's PUT fanned back out
+// would cascade one logical write into N² replica writes.
+type localStore interface {
+	GetLocal(key string) (Result, bool)
+	PutLocal(key string, res Result)
+}
+
+// cacheGetLocal is CacheGet restricted to this node's own tiers: memory,
+// then the disk tier's local half when it distinguishes one. PeerHandler
+// answers with it.
+func (f *Farm) cacheGetLocal(key string) (Result, bool) {
+	if res, ok := f.mem.Get(key); ok {
+		return res, true
+	}
+	if f.disk == nil {
+		return Result{}, false
+	}
+	var (
+		res Result
+		ok  bool
+	)
+	if ls, can := f.disk.(localStore); can {
+		res, ok = ls.GetLocal(key)
+	} else {
+		res, ok = f.disk.Get(key)
+	}
+	if ok {
+		f.cmu.Lock()
+		f.mem.Put(key, res)
+		f.cmu.Unlock()
+	}
+	return res, ok
+}
+
+// cachePutLocal is CachePut restricted to this node's own tiers — the
+// landing half of replication. PeerHandler stores with it.
+func (f *Farm) cachePutLocal(key string, res Result) {
+	f.cmu.Lock()
+	f.mem.Put(key, res)
+	f.cmu.Unlock()
+	if f.disk == nil {
+		return
+	}
+	if ls, can := f.disk.(localStore); can {
+		ls.PutLocal(key, res)
+		return
+	}
+	f.disk.Put(key, res)
+}
+
 // Do submits a job and blocks until its result is ready.
 func (f *Farm) Do(j Job) (Result, error) { return f.Submit(j).Wait() }
 

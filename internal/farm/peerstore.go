@@ -80,9 +80,11 @@ func isResultKey(key string) bool {
 // PeerHandler serves the peer wire protocol over f's result cache. It is an
 // http.Handler with its own routing for the /peer/ endpoints; the serve
 // layer mounts it on the main mux, and tests mount it directly on an
-// httptest server. Lookups go through both cache tiers (with the usual
-// disk-hit promotion) and stores write through both, so peers share
-// whatever this node has computed or cached.
+// httptest server. Lookups and stores are confined to this node's own
+// tiers (memory plus the disk tier's local half): a peer asking "do you
+// have this" must never trigger a further peer lookup from here, and a
+// replica frame pushed by a peer must never fan back out — either would
+// turn the replication graph into a cycle.
 func PeerHandler(f *Farm) http.Handler {
 	mux := http.NewServeMux()
 
@@ -103,7 +105,7 @@ func PeerHandler(f *Farm) http.Handler {
 			http.Error(w, "malformed result key", http.StatusBadRequest)
 			return
 		}
-		res, ok := f.CacheGet(key)
+		res, ok := f.cacheGetLocal(key)
 		if !ok {
 			http.Error(w, "miss", http.StatusNotFound)
 			return
@@ -141,7 +143,7 @@ func PeerHandler(f *Farm) http.Handler {
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
-		f.CachePut(key, res)
+		f.cachePutLocal(key, res)
 		w.WriteHeader(http.StatusNoContent)
 	})
 

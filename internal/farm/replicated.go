@@ -1,0 +1,685 @@
+package farm
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReplicatedStore makes the distributed result tier durable: every Put fans
+// out to the first R distinct owners of the key on a consistent-hash ring
+// over this node and its peers, so losing any single node's disk loses no
+// results — the shard is served from its replicas, not recomputed.
+//
+//   - Writes are replicated, not quorum-gated: the local tier is written
+//     synchronously (it is this node's own cache), remote owners get the
+//     frame through their per-replica breaker (NewRetryStore), and a Put
+//     succeeds as long as one copy lands. Failed replicas are counted and
+//     healed later by read-repair or rebalance.
+//   - Reads are quorum-free with read-repair: Get answers from the local
+//     tier when it can, otherwise walks the key's owners in ring order. A
+//     hit served by a non-primary replica is asynchronously written back to
+//     the local tier and to every earlier-ordered owner that cleanly
+//     missed, so transient outages heal on traffic. A total miss lets the
+//     farm recompute, and the recompute's normal Put re-replicates it.
+//   - Anti-entropy after ring churn: members go unhealthy when their
+//     breaker opens (or the coordinator marks them inactive) and healthy
+//     again when a probe succeeds; each transition rebuilds the ring and
+//     starts a bounded, rate-limited, cancellable rebalance pass that
+//     streams every locally-held key whose ownership set grew to its new
+//     owners — a replaced node repopulates from its peers' disks without a
+//     single recompute.
+//
+// The zero number of remote members degenerates to a plain wrapper around
+// the local tier. A ReplicatedStore is safe for concurrent use.
+type ReplicatedStore struct {
+	local    Store  // this node's tier (RetryStore over DiskStore); may be nil
+	selfName string // this node's ring identity; "" keeps self off the ring
+	replicas int    // R: distinct owners per key, clamped to ring size
+
+	members []*replicaMember
+
+	ring   *Ring        // healthy members only; rebuilt on every transition
+	ringMu sync.RWMutex // guards replacing rs.ring and the lastHealthy set
+
+	lastHealthy map[string]bool // healthy-set snapshot behind the live ring
+
+	repairPending  atomic.Int64 // repairs scheduled but not yet applied
+	writes         atomic.Int64 // successful remote replica writes
+	failures       atomic.Int64 // failed remote replica writes
+	repairs        atomic.Int64 // replica writes performed by read-repair
+	repairsDropped atomic.Int64 // read-repairs dropped at a full queue
+	rebalanced     atomic.Int64 // keys streamed to new owners by anti-entropy
+
+	repairCh  chan repairJob
+	repairWG  sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	watchEvery    time.Duration
+	rebalanceRate int // keys per second streamed by one rebalance pass
+
+	rebalMu     sync.Mutex
+	rebalCancel context.CancelFunc
+	rebalWG     sync.WaitGroup
+}
+
+// replicaMember is one remote peer's replication state.
+type replicaMember struct {
+	name  string
+	store Store
+	fal   FallibleStore // nil when store cannot surface errors
+	deg   func() bool   // breaker state (RetryStore.Degraded); nil = never
+	act   atomic.Bool   // coordinator/probe-driven liveness
+}
+
+// ReplicaMember names one remote replica target, typically a *RetryStore
+// wrapping a *PeerStore so the per-replica breaker quarantines a dead peer.
+type ReplicaMember struct {
+	Name  string
+	Store Store
+}
+
+// ReplicatedOption configures a ReplicatedStore.
+type ReplicatedOption func(*ReplicatedStore)
+
+// WithReplicaWatchInterval sets how often member health (breaker state) is
+// re-checked for ring churn. Tests drive it to milliseconds; production
+// defaults to 1s.
+func WithReplicaWatchInterval(d time.Duration) ReplicatedOption {
+	return func(rs *ReplicatedStore) {
+		if d > 0 {
+			rs.watchEvery = d
+		}
+	}
+}
+
+// WithRebalanceRate bounds an anti-entropy pass to about n keys per second
+// (default 128; n < 1 keeps the default). The pass is deliberately slow: it
+// runs behind live traffic and must never saturate a recovering peer.
+func WithRebalanceRate(n int) ReplicatedOption {
+	return func(rs *ReplicatedStore) {
+		if n >= 1 {
+			rs.rebalanceRate = n
+		}
+	}
+}
+
+// defaultRepairQueue bounds the in-flight read-repair backlog; beyond it
+// repairs are dropped and counted — repair is an optimisation, never worth
+// blocking a read for.
+const defaultRepairQueue = 256
+
+// NewReplicatedStore builds the replicated tier. local is this node's own
+// store (nil for a diskless node), selfName its ring identity (matching how
+// peers name it, so every node derives the same owners; "" keeps this node
+// off the ring and makes it write-through only), replicas the R in "first R
+// distinct owners", and members the remote replica targets. The store owns
+// local and every member store: Close closes them all.
+func NewReplicatedStore(local Store, selfName string, replicas int, members []ReplicaMember, opts ...ReplicatedOption) *ReplicatedStore {
+	if replicas < 1 {
+		replicas = 2
+	}
+	rs := &ReplicatedStore{
+		local:         local,
+		selfName:      selfName,
+		replicas:      replicas,
+		closed:        make(chan struct{}),
+		repairCh:      make(chan repairJob, defaultRepairQueue),
+		watchEvery:    time.Second,
+		rebalanceRate: 128,
+		lastHealthy:   make(map[string]bool),
+	}
+	for _, m := range members {
+		mem := &replicaMember{name: m.Name, store: m.Store}
+		mem.fal, _ = m.Store.(FallibleStore)
+		if d, ok := m.Store.(interface{ Degraded() bool }); ok {
+			mem.deg = d.Degraded
+		}
+		mem.act.Store(true)
+		rs.members = append(rs.members, mem)
+	}
+	for _, o := range opts {
+		o(rs)
+	}
+	rs.ring = rs.buildRing(rs.healthySet())
+	rs.lastHealthy = rs.healthySet()
+
+	rs.repairWG.Add(1)
+	go rs.repairLoop()
+	if len(rs.members) > 0 {
+		rs.repairWG.Add(1)
+		go rs.watchLoop()
+	}
+	return rs
+}
+
+// healthy reports whether a member may receive replica traffic right now:
+// marked active (coordinator probe) and not quarantined by its breaker.
+func (m *replicaMember) healthy() bool {
+	return m.act.Load() && (m.deg == nil || !m.deg())
+}
+
+// healthySet snapshots every member's health, keyed by name.
+func (rs *ReplicatedStore) healthySet() map[string]bool {
+	set := make(map[string]bool, len(rs.members))
+	for _, m := range rs.members {
+		set[m.name] = m.healthy()
+	}
+	return set
+}
+
+// buildRing constructs a ring over self plus the healthy members.
+func (rs *ReplicatedStore) buildRing(healthy map[string]bool) *Ring {
+	r := NewRing(0)
+	if rs.selfName != "" {
+		r.Add(rs.selfName)
+	}
+	for name, ok := range healthy {
+		if ok {
+			r.Add(name)
+		}
+	}
+	return r
+}
+
+// member returns the named remote member, or nil.
+func (rs *ReplicatedStore) member(name string) *replicaMember {
+	for _, m := range rs.members {
+		if m.name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// HasMember reports whether name is one of this store's remote replicas —
+// the coordinator uses it to route probe-driven liveness only to stores
+// that know the peer.
+func (rs *ReplicatedStore) HasMember(name string) bool { return rs.member(name) != nil }
+
+// SetMemberActive is the coordinator/probe hook: mark a member reachable or
+// not. A transition rebuilds the ring and kicks an anti-entropy pass
+// immediately rather than waiting for the watch tick.
+func (rs *ReplicatedStore) SetMemberActive(name string, active bool) {
+	m := rs.member(name)
+	if m == nil {
+		return
+	}
+	if m.act.Swap(active) != active {
+		rs.refreshRing()
+	}
+}
+
+// watchLoop re-checks member health on an interval, catching the churn the
+// coordinator hook can't see: a breaker tripping on traffic, or a half-open
+// probe succeeding against a recovered peer.
+func (rs *ReplicatedStore) watchLoop() {
+	defer rs.repairWG.Done()
+	t := time.NewTicker(rs.watchEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-rs.closed:
+			return
+		case <-t.C:
+			rs.refreshRing()
+		}
+	}
+}
+
+// refreshRing rebuilds the ring if the healthy set changed since the last
+// build, and starts a rebalance pass for the transition. Cheap when nothing
+// changed.
+func (rs *ReplicatedStore) refreshRing() {
+	now := rs.healthySet()
+	rs.ringMu.Lock()
+	if equalSet(rs.lastHealthy, now) {
+		rs.ringMu.Unlock()
+		return
+	}
+	rs.lastHealthy = now
+	oldRing := rs.ring
+	rs.ring = rs.buildRing(now)
+	newRing := rs.ring
+	rs.ringMu.Unlock()
+	rs.startRebalance(oldRing, newRing)
+}
+
+func equalSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// currentRing returns the live ring snapshot.
+func (rs *ReplicatedStore) currentRing() *Ring {
+	rs.ringMu.RLock()
+	defer rs.ringMu.RUnlock()
+	return rs.ring
+}
+
+// owners returns the key's first R distinct owners on the live ring.
+func (rs *ReplicatedStore) owners(key string) []string {
+	return rs.currentRing().Owners(key, rs.replicas)
+}
+
+// Get implements Store: local tier first, then the key's owners in ring
+// order. A hit served by a non-primary replica schedules an asynchronous
+// read-repair to the local tier and every earlier-ordered owner that
+// cleanly missed; a total miss lets the farm recompute (whose Put then
+// re-replicates the result).
+func (rs *ReplicatedStore) Get(key string) (Result, bool) {
+	if rs.local != nil {
+		if res, ok := rs.local.Get(key); ok {
+			return res, true
+		}
+	}
+	var missed []*replicaMember // owners that answered a clean miss before the hit
+	for _, name := range rs.owners(key) {
+		if name == rs.selfName {
+			continue // the local tier already missed
+		}
+		m := rs.member(name)
+		if m == nil || !m.healthy() {
+			continue
+		}
+		res, ok, err := memberGet(m, key)
+		if err != nil {
+			continue // unreachable replica: not a miss, not repairable now
+		}
+		if !ok {
+			missed = append(missed, m)
+			continue
+		}
+		rs.scheduleRepair(key, res, missed)
+		return res, true
+	}
+	return Result{}, false
+}
+
+// memberGet reads from one replica, distinguishing clean misses from
+// transport failures when the member can report them.
+func memberGet(m *replicaMember, key string) (Result, bool, error) {
+	if m.fal != nil {
+		return m.fal.GetErr(key)
+	}
+	res, ok := m.store.Get(key)
+	return res, ok, nil
+}
+
+// Put implements Store: the local tier synchronously (this node's own
+// cache), then the key's remote owners through their breakers. Per-replica
+// failure is tolerated — the write needs one copy to land, and the counters
+// plus later repair handle the rest.
+func (rs *ReplicatedStore) Put(key string, res Result) {
+	if rs.local != nil {
+		rs.local.Put(key, res)
+	}
+	for _, name := range rs.owners(key) {
+		if name == rs.selfName {
+			continue // the synchronous local write is self's copy
+		}
+		m := rs.member(name)
+		if m == nil || !m.healthy() {
+			continue
+		}
+		if err := memberPut(m, key, res); err != nil {
+			rs.failures.Add(1)
+		} else {
+			rs.writes.Add(1)
+		}
+	}
+}
+
+// memberPut writes to one replica, reporting failure when the member can.
+func memberPut(m *replicaMember, key string, res Result) error {
+	if m.fal != nil {
+		return m.fal.PutErr(key, res)
+	}
+	m.store.Put(key, res)
+	return nil
+}
+
+// GetLocal implements the farm's local-only lookup (the peer wire
+// protocol's read half): a remote node asking "do you have this" must see
+// only this node's own storage — answering from a third replica would
+// bounce peer GETs around the ring forever.
+func (rs *ReplicatedStore) GetLocal(key string) (Result, bool) {
+	if rs.local == nil {
+		return Result{}, false
+	}
+	return rs.local.Get(key)
+}
+
+// PutLocal implements the farm's local-only write (the peer wire protocol's
+// write half): a replica frame pushed by a peer lands in this node's own
+// storage and nowhere else — re-fanning it out would cascade one logical
+// Put into N² replica writes.
+func (rs *ReplicatedStore) PutLocal(key string, res Result) {
+	if rs.local == nil {
+		return
+	}
+	rs.local.Put(key, res)
+}
+
+// GetRemote consults only the key's remote replicas — the scrubber's repair
+// source: after deleting a corrupt local entry the replacement must come
+// from a peer's copy, never from the damaged local tier.
+func (rs *ReplicatedStore) GetRemote(key string) (Result, bool) {
+	for _, name := range rs.owners(key) {
+		if name == rs.selfName {
+			continue
+		}
+		m := rs.member(name)
+		if m == nil || !m.healthy() {
+			continue
+		}
+		if res, ok, err := memberGet(m, key); err == nil && ok {
+			return res, true
+		}
+	}
+	// Not an owner's key (ownership moved) or owners are down: any replica
+	// that still holds a copy beats recomputing.
+	for _, m := range rs.members {
+		if !m.healthy() {
+			continue
+		}
+		if res, ok, err := memberGet(m, key); err == nil && ok {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// repairJob is one scheduled read-repair: write res under key to the local
+// tier and to the owners that missed.
+type repairJob struct {
+	key     string
+	res     Result
+	targets []*replicaMember
+}
+
+// scheduleRepair enqueues an asynchronous write-back of a replica hit to
+// the local tier and the cleanly-missed earlier owners. Never blocks: a
+// full queue drops the repair and counts it — the next read will try again.
+func (rs *ReplicatedStore) scheduleRepair(key string, res Result, missed []*replicaMember) {
+	rs.repairPending.Add(1)
+	select {
+	case rs.repairCh <- repairJob{key: key, res: res, targets: missed}:
+	case <-rs.closed:
+		rs.repairPending.Add(-1)
+	default:
+		rs.repairPending.Add(-1)
+		rs.repairsDropped.Add(1)
+	}
+}
+
+// repairLoop is the single background writer draining scheduled repairs.
+func (rs *ReplicatedStore) repairLoop() {
+	defer rs.repairWG.Done()
+	for {
+		select {
+		case <-rs.closed:
+			return
+		case job := <-rs.repairCh:
+			if rs.local != nil {
+				rs.local.Put(job.key, job.res)
+				rs.repairs.Add(1)
+			}
+			for _, m := range job.targets {
+				if !m.healthy() {
+					continue
+				}
+				if err := memberPut(m, job.key, job.res); err != nil {
+					rs.failures.Add(1)
+				} else {
+					rs.repairs.Add(1)
+				}
+			}
+			rs.repairPending.Add(-1)
+		}
+	}
+}
+
+// keyLister is the local-store capability anti-entropy needs (DiskStore.Keys,
+// forwarded by RetryStore).
+type keyLister interface {
+	Keys(fn func(key string) bool)
+}
+
+// peeker is the stat-less read capability the rebalancer streams from.
+type peeker interface {
+	Peek(key string) (Result, bool)
+}
+
+// startRebalance launches one anti-entropy pass for a ring transition,
+// cancelling any pass still running from a previous transition (its
+// remaining work is subsumed: the new pass diffs against the same local
+// key set with the newest ring).
+func (rs *ReplicatedStore) startRebalance(oldRing, newRing *Ring) {
+	lister, okL := rs.local.(keyLister)
+	pk, okP := rs.local.(peeker)
+	if !okL || !okP {
+		return
+	}
+	rs.rebalMu.Lock()
+	if rs.rebalCancel != nil {
+		rs.rebalCancel()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rs.rebalCancel = cancel
+	rs.rebalWG.Add(1)
+	rs.rebalMu.Unlock()
+
+	go func() {
+		defer rs.rebalWG.Done()
+		defer cancel()
+		rs.rebalance(ctx, oldRing, newRing, lister, pk)
+	}()
+}
+
+// rebalance streams every locally-held key whose ownership set gained a
+// member to those new owners, paced to the configured rate so a recovering
+// peer is repopulated without being saturated.
+func (rs *ReplicatedStore) rebalance(ctx context.Context, oldRing, newRing *Ring, lister keyLister, pk peeker) {
+	pace := time.Second / time.Duration(rs.rebalanceRate)
+	lister.Keys(func(key string) bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-rs.closed:
+			return false
+		default:
+		}
+		oldOwners := make(map[string]bool)
+		for _, n := range oldRing.Owners(key, rs.replicas) {
+			oldOwners[n] = true
+		}
+		moved, peeked := false, false
+		var res Result
+		for _, name := range newRing.Owners(key, rs.replicas) {
+			if name == rs.selfName || oldOwners[name] {
+				continue
+			}
+			m := rs.member(name)
+			if m == nil || !m.healthy() {
+				continue
+			}
+			if !peeked {
+				var ok bool
+				if res, ok = pk.Peek(key); !ok {
+					break // entry vanished mid-pass (evicted); nothing to stream
+				}
+				peeked = true
+			}
+			if err := memberPut(m, key, res); err != nil {
+				rs.failures.Add(1)
+			} else {
+				rs.rebalanced.Add(1)
+				moved = true
+			}
+		}
+		if moved && pace > 0 {
+			select {
+			case <-ctx.Done():
+				return false
+			case <-time.After(pace):
+			}
+		}
+		return true
+	})
+}
+
+// ReplicationDegraded reports whether fewer than R of the key space's
+// potential owners (this node plus its members) are currently reachable —
+// new writes cannot reach their full replica count, so the node should
+// advertise not-ready and let traffic land where durability is intact.
+func (rs *ReplicatedStore) ReplicationDegraded() bool {
+	want := rs.replicas
+	total := len(rs.members)
+	if rs.selfName != "" || rs.local != nil {
+		total++
+	}
+	if want > total {
+		want = total
+	}
+	healthy := 0
+	if rs.selfName != "" || rs.local != nil {
+		healthy++ // the local tier is always reachable from here
+	}
+	for _, m := range rs.members {
+		if m.healthy() {
+			healthy++
+		}
+	}
+	return healthy < want
+}
+
+// ReplicaStats is the replication tier's health and counter snapshot.
+type ReplicaStats struct {
+	Members        int   // configured remote replicas
+	Healthy        int   // remote replicas currently accepting traffic
+	Writes         int64 // successful remote replica writes
+	Failures       int64 // failed remote replica writes
+	Repairs        int64 // writes performed by read-repair
+	RepairsDropped int64 // read-repairs dropped at a full queue
+	Rebalanced     int64 // keys streamed to new owners by anti-entropy
+	Degraded       bool  // fewer than R owners reachable
+}
+
+// ReplicaStats snapshots the replication counters for /metrics.
+func (rs *ReplicatedStore) ReplicaStats() ReplicaStats {
+	st := ReplicaStats{
+		Members:        len(rs.members),
+		Writes:         rs.writes.Load(),
+		Failures:       rs.failures.Load(),
+		Repairs:        rs.repairs.Load(),
+		RepairsDropped: rs.repairsDropped.Load(),
+		Rebalanced:     rs.rebalanced.Load(),
+		Degraded:       rs.ReplicationDegraded(),
+	}
+	for _, m := range rs.members {
+		if m.healthy() {
+			st.Healthy++
+		}
+	}
+	return st
+}
+
+// Stats implements Store: the local tier's counters (the farm reports this
+// as its disk tier), annotated with replication degradation.
+func (rs *ReplicatedStore) Stats() StoreStats {
+	var st StoreStats
+	if rs.local != nil {
+		st = rs.local.Stats()
+	}
+	if rs.ReplicationDegraded() {
+		st.Degraded = true
+	}
+	return st
+}
+
+// Close implements Store: stop the watcher, the repair worker and any
+// rebalance in flight, then close the local tier and every member store.
+func (rs *ReplicatedStore) Close() error {
+	rs.closeOnce.Do(func() {
+		close(rs.closed)
+		rs.rebalMu.Lock()
+		if rs.rebalCancel != nil {
+			rs.rebalCancel()
+		}
+		rs.rebalMu.Unlock()
+	})
+	rs.rebalWG.Wait()
+	rs.repairWG.Wait()
+	var err error
+	if rs.local != nil {
+		err = rs.local.Close()
+	}
+	for _, m := range rs.members {
+		if cerr := m.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Flush waits until every repair scheduled so far has been applied — a test
+// seam (and drain aid) so read-repair effects can be observed
+// deterministically.
+func (rs *ReplicatedStore) Flush() {
+	for rs.repairPending.Load() > 0 {
+		select {
+		case <-rs.closed:
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// Entries forwards the local tier's Warm streaming capability.
+func (rs *ReplicatedStore) Entries(newest int, newestBytes int64, fn func(key string, res Result) bool) {
+	if lister, ok := rs.local.(entryLister); ok {
+		lister.Entries(newest, newestBytes, fn)
+	}
+}
+
+// Keys forwards the local tier's key iterator (scrub scheduling).
+func (rs *ReplicatedStore) Keys(fn func(key string) bool) {
+	if lister, ok := rs.local.(keyLister); ok {
+		lister.Keys(fn)
+	}
+}
+
+// Scrub forwards a frame verification to the local tier.
+func (rs *ReplicatedStore) Scrub(key string) ScrubOutcome {
+	if sc, ok := rs.local.(interface{ Scrub(key string) ScrubOutcome }); ok {
+		return sc.Scrub(key)
+	}
+	return ScrubMissing
+}
+
+// Dir forwards the local tier's directory for Limits reporting.
+func (rs *ReplicatedStore) Dir() string {
+	if d, ok := rs.local.(interface{ Dir() string }); ok {
+		return d.Dir()
+	}
+	return ""
+}
+
+// MaxBytes forwards the local tier's byte bound for Limits reporting.
+func (rs *ReplicatedStore) MaxBytes() int64 {
+	if mb, ok := rs.local.(interface{ MaxBytes() int64 }); ok {
+		return mb.MaxBytes()
+	}
+	return 0
+}

@@ -1,9 +1,17 @@
 package farm
 
 import (
+	"errors"
+	"math/rand"
 	"sync"
 	"time"
 )
+
+// ErrStoreQuarantined is returned by GetErr/PutErr when the breaker is open
+// and this operation was not admitted as a probe. Callers composing replicas
+// can distinguish "tier is quarantined right now" from an operation that ran
+// and failed.
+var ErrStoreQuarantined = errors.New("farm: store quarantined by breaker")
 
 // RetryPolicy configures a RetryStore: how hard it retries a transiently
 // failing operation, and when repeated failure quarantines the tier.
@@ -27,6 +35,13 @@ type RetryPolicy struct {
 	// through to probe the tier. A successful probe closes the breaker; a
 	// failed one re-arms the timer. Non-positive values use 1s.
 	ProbeEvery time.Duration
+
+	// Jitter spreads backoff delays and probe timing by a random factor in
+	// [1-Jitter, 1+Jitter], so a fleet of nodes whose breakers tripped
+	// together doesn't retry or probe a recovering disk/peer in lockstep.
+	// 0 disables jitter (deterministic timing, which the tests rely on);
+	// values are clamped to [0, 1].
+	Jitter float64
 }
 
 // DefaultRetryPolicy returns the policy bifrost-serve uses for its disk
@@ -40,6 +55,7 @@ func DefaultRetryPolicy() RetryPolicy {
 		MaxDelay:   50 * time.Millisecond,
 		TripAfter:  3,
 		ProbeEvery: 2 * time.Second,
+		Jitter:     0.2,
 	}
 }
 
@@ -66,10 +82,12 @@ type RetryStore struct {
 	fal    FallibleStore // nil when inner cannot surface errors
 	policy RetryPolicy
 
-	// now and sleep are the clock seams the fault-injection tests use to
-	// drive breaker timing deterministically; production uses the real ones.
+	// now, sleep and rand are the clock/randomness seams the fault-injection
+	// tests use to drive breaker timing deterministically; production uses
+	// the real ones.
 	now   func() time.Time
 	sleep func(time.Duration)
+	rand  func() float64
 
 	mu        sync.Mutex
 	failures  int       // consecutive operations that exhausted their retries
@@ -85,6 +103,12 @@ func NewRetryStore(inner Store, policy RetryPolicy) *RetryStore {
 	if policy.ProbeEvery <= 0 {
 		policy.ProbeEvery = time.Second
 	}
+	if policy.Jitter < 0 {
+		policy.Jitter = 0
+	}
+	if policy.Jitter > 1 {
+		policy.Jitter = 1
+	}
 	fal, _ := inner.(FallibleStore)
 	return &RetryStore{
 		inner:  inner,
@@ -92,6 +116,7 @@ func NewRetryStore(inner Store, policy RetryPolicy) *RetryStore {
 		policy: policy,
 		now:    time.Now,
 		sleep:  time.Sleep,
+		rand:   rand.Float64,
 	}
 }
 
@@ -104,7 +129,7 @@ func (rs *RetryStore) admit() bool {
 		return true
 	}
 	if now := rs.now(); !now.Before(rs.nextProbe) {
-		rs.nextProbe = now.Add(rs.policy.ProbeEvery) // claim this probe slot
+		rs.nextProbe = now.Add(rs.jittered(rs.policy.ProbeEvery)) // claim this probe slot
 		return true
 	}
 	return false
@@ -133,13 +158,13 @@ func (rs *RetryStore) fail() {
 		rs.trips++
 	}
 	if rs.open {
-		rs.nextProbe = rs.now().Add(rs.policy.ProbeEvery)
+		rs.nextProbe = rs.now().Add(rs.jittered(rs.policy.ProbeEvery))
 	}
 	rs.mu.Unlock()
 }
 
 // backoff returns the delay before retry attempt (0-based), doubling from
-// BaseDelay and capped at MaxDelay.
+// BaseDelay, capped at MaxDelay, spread by the policy's jitter.
 func (rs *RetryStore) backoff(attempt int) time.Duration {
 	d := rs.policy.BaseDelay
 	if d <= 0 {
@@ -148,13 +173,25 @@ func (rs *RetryStore) backoff(attempt int) time.Duration {
 	for i := 0; i < attempt; i++ {
 		d *= 2
 		if rs.policy.MaxDelay > 0 && d >= rs.policy.MaxDelay {
-			return rs.policy.MaxDelay
+			d = rs.policy.MaxDelay
+			break
 		}
 	}
 	if rs.policy.MaxDelay > 0 && d > rs.policy.MaxDelay {
 		d = rs.policy.MaxDelay
 	}
-	return d
+	return rs.jittered(d)
+}
+
+// jittered spreads d by a random factor in [1-Jitter, 1+Jitter]. With
+// Jitter 0 it returns d unchanged.
+func (rs *RetryStore) jittered(d time.Duration) time.Duration {
+	j := rs.policy.Jitter
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + j*(2*rs.rand()-1)
+	return time.Duration(float64(d) * f)
 }
 
 // Degraded reports whether the breaker is open — the tier is quarantined
@@ -170,21 +207,31 @@ func (rs *RetryStore) Degraded() bool {
 // operation and closes an open breaker, because the tier proved it can
 // answer.
 func (rs *RetryStore) Get(key string) (Result, bool) {
+	res, ok, _ := rs.GetErr(key)
+	return res, ok
+}
+
+// GetErr implements FallibleStore, exposing to composing tiers (the
+// replicated store counts per-replica failures) what Get absorbs: a
+// quarantined tier answers ErrStoreQuarantined, and an operation that
+// exhausts its retries answers the last underlying error.
+func (rs *RetryStore) GetErr(key string) (Result, bool, error) {
 	if rs.fal == nil {
-		return rs.inner.Get(key)
+		res, ok := rs.inner.Get(key)
+		return res, ok, nil
 	}
 	if !rs.admit() {
-		return Result{}, false
+		return Result{}, false, ErrStoreQuarantined
 	}
 	for attempt := 0; ; attempt++ {
 		res, ok, err := rs.fal.GetErr(key)
 		if err == nil {
 			rs.ok()
-			return res, ok
+			return res, ok, nil
 		}
 		if attempt >= rs.policy.MaxRetries {
 			rs.fail()
-			return Result{}, false
+			return Result{}, false, err
 		}
 		rs.count(func() { rs.retries++ })
 		rs.sleep(rs.backoff(attempt))
@@ -195,22 +242,27 @@ func (rs *RetryStore) Get(key string) (Result, bool) {
 // stays correct in the memory tier and is re-persisted by later traffic
 // once the disk recovers.
 func (rs *RetryStore) Put(key string, res Result) {
+	rs.PutErr(key, res)
+}
+
+// PutErr implements FallibleStore; see GetErr for the error taxonomy.
+func (rs *RetryStore) PutErr(key string, res Result) error {
 	if rs.fal == nil {
 		rs.inner.Put(key, res)
-		return
+		return nil
 	}
 	if !rs.admit() {
-		return
+		return ErrStoreQuarantined
 	}
 	for attempt := 0; ; attempt++ {
 		err := rs.fal.PutErr(key, res)
 		if err == nil {
 			rs.ok()
-			return
+			return nil
 		}
 		if attempt >= rs.policy.MaxRetries {
 			rs.fail()
-			return
+			return err
 		}
 		rs.count(func() { rs.retries++ })
 		rs.sleep(rs.backoff(attempt))
@@ -250,6 +302,46 @@ func (rs *RetryStore) Entries(newest int, newestBytes int64, fn func(key string,
 	}); ok {
 		lister.Entries(newest, newestBytes, fn)
 	}
+}
+
+// Keys forwards the key-iteration capability (rebalance/scrub source) when
+// the wrapped store has it; a quarantined tier streams nothing.
+func (rs *RetryStore) Keys(fn func(key string) bool) {
+	if rs.Degraded() {
+		return
+	}
+	if ks, ok := rs.inner.(interface {
+		Keys(fn func(key string) bool)
+	}); ok {
+		ks.Keys(fn)
+	}
+}
+
+// Peek forwards the stat-less read capability (rebalance source) when the
+// wrapped store has it; a quarantined tier answers a miss.
+func (rs *RetryStore) Peek(key string) (Result, bool) {
+	if rs.Degraded() {
+		return Result{}, false
+	}
+	if pk, ok := rs.inner.(interface {
+		Peek(key string) (Result, bool)
+	}); ok {
+		return pk.Peek(key)
+	}
+	return Result{}, false
+}
+
+// Scrub forwards the frame-verification capability when the wrapped store
+// has it; a quarantined tier reports the entry missing rather than touching
+// a dying disk.
+func (rs *RetryStore) Scrub(key string) ScrubOutcome {
+	if rs.Degraded() {
+		return ScrubMissing
+	}
+	if sc, ok := rs.inner.(interface{ Scrub(key string) ScrubOutcome }); ok {
+		return sc.Scrub(key)
+	}
+	return ScrubMissing
 }
 
 // Dir forwards the wrapped store's directory for Limits reporting.

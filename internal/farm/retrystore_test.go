@@ -214,6 +214,101 @@ func TestRetryStoreFaultCapabilityForwarding(t *testing.T) {
 	}
 }
 
+// TestRetryStoreFaultJitterSpreadsBackoffAndProbe pins the jitter contract:
+// back-off delays and probe timing are spread by a factor in
+// [1-Jitter, 1+Jitter], so a fleet whose breakers tripped together does not
+// hammer a recovering tier in lockstep.
+func TestRetryStoreFaultJitterSpreadsBackoffAndProbe(t *testing.T) {
+	policy := RetryPolicy{
+		MaxRetries: 1,
+		BaseDelay:  10 * time.Millisecond,
+		MaxDelay:   time.Second,
+		TripAfter:  1,
+		ProbeEvery: time.Second,
+		Jitter:     0.5,
+	}
+	rs, inner, now, slept := testClockStore(policy)
+	defer rs.Close()
+	// Scripted randomness: 0 → factor 1-j, 1 → factor 1+j.
+	rolls, i := []float64{0, 1, 0.5}, 0
+	rs.rand = func() float64 { v := rolls[i%len(rolls)]; i++; return v }
+
+	// Two scripted failures: one retry (jittered back-off), then the trip
+	// (jittered probe deadline).
+	inner.script(2, 0)
+	if _, _, err := rs.GetErr(testKey(1)); err == nil {
+		t.Fatal("scripted failure did not surface")
+	}
+	if len(*slept) != 1 || (*slept)[0] != 5*time.Millisecond {
+		t.Fatalf("back-off slept %v, want [5ms] (10ms spread by factor 1-0.5)", *slept)
+	}
+	if !rs.Degraded() {
+		t.Fatal("breaker did not trip after TripAfter=1")
+	}
+
+	// The probe deadline was jittered to now + 1.5s (1s by factor 1+0.5):
+	// at +1.1s the tier must still refuse, at +1.5s it must probe.
+	gets, _ := inner.counts()
+	*now = now.Add(1100 * time.Millisecond)
+	if _, _, err := rs.GetErr(testKey(1)); !errors.Is(err, ErrStoreQuarantined) {
+		t.Fatalf("probe admitted before the jittered deadline: err=%v", err)
+	}
+	if g, _ := inner.counts(); g != gets {
+		t.Fatalf("quarantined get touched the inner store (%d calls, was %d)", g, gets)
+	}
+	*now = now.Add(400 * time.Millisecond)
+	if _, _, err := rs.GetErr(testKey(1)); err != nil {
+		t.Fatalf("probe at the jittered deadline failed: %v", err)
+	}
+	if g, _ := inner.counts(); g != gets+1 {
+		t.Fatalf("probe did not reach the inner store (%d calls, was %d)", g, gets)
+	}
+	if rs.Degraded() {
+		t.Fatal("successful probe (clean miss) did not close the breaker")
+	}
+}
+
+// TestRetryStoreFaultZeroJitterDeterministic pins that Jitter 0 keeps the
+// historical deterministic timing — the rest of this suite relies on it.
+func TestRetryStoreFaultZeroJitterDeterministic(t *testing.T) {
+	policy := RetryPolicy{MaxRetries: 2, BaseDelay: 4 * time.Millisecond, MaxDelay: time.Second, TripAfter: 3, ProbeEvery: time.Second}
+	rs, inner, _, slept := testClockStore(policy)
+	defer rs.Close()
+	rs.rand = func() float64 { t.Fatal("jitter 0 consulted the randomness source"); return 0 }
+	inner.Put(testKey(2), Result{})
+	inner.script(2, 0)
+	if _, ok := rs.Get(testKey(2)); !ok {
+		t.Fatal("get did not succeed on the third attempt")
+	}
+	if len(*slept) != 2 || (*slept)[0] != 4*time.Millisecond || (*slept)[1] != 8*time.Millisecond {
+		t.Fatalf("back-off slept %v, want [4ms 8ms]", *slept)
+	}
+}
+
+// TestRetryStoreFaultQuarantineSentinel pins the error taxonomy composing
+// tiers rely on: an exhausted operation surfaces the underlying error, and
+// a quarantined tier answers ErrStoreQuarantined on both halves.
+func TestRetryStoreFaultQuarantineSentinel(t *testing.T) {
+	policy := RetryPolicy{MaxRetries: 0, TripAfter: 1, ProbeEvery: time.Hour}
+	rs, inner, _, _ := testClockStore(policy)
+	defer rs.Close()
+
+	inner.script(1, 0)
+	if _, _, err := rs.GetErr(testKey(3)); !errors.Is(err, errScripted) {
+		t.Fatalf("exhausted get surfaced %v, want the underlying error", err)
+	}
+	if _, _, err := rs.GetErr(testKey(3)); !errors.Is(err, ErrStoreQuarantined) {
+		t.Fatalf("quarantined get surfaced %v, want ErrStoreQuarantined", err)
+	}
+	if err := rs.PutErr(testKey(3), Result{}); !errors.Is(err, ErrStoreQuarantined) {
+		t.Fatalf("quarantined put surfaced %v, want ErrStoreQuarantined", err)
+	}
+	// The absorbing Store facade stays miss/drop semantics.
+	if _, ok := rs.Get(testKey(3)); ok {
+		t.Fatal("quarantined Get answered a hit")
+	}
+}
+
 // testKey returns a well-formed (64 hex chars) cache key unique to n.
 func testKey(n byte) string {
 	const hex = "0123456789abcdef"

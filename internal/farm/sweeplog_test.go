@@ -190,3 +190,49 @@ func TestRemoveSweepLog(t *testing.T) {
 		t.Fatalf("removed journal still replays %d rows", re.Len())
 	}
 }
+
+// TestSweepLogConcurrentRecordDuringRemove pins the crash-adjacent race the
+// sweep registry can hit: one goroutine still appending rows while another
+// removes the journal (a fresh non-resume start under the same id). Appends
+// to the unlinked file must stay harmless — no error, no panic — and a
+// reopen after the remove must see a clean, empty journal.
+func TestSweepLogConcurrentRecordDuringRemove(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSweepLog(dir, "contested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	start := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		<-start
+		for i := 0; i < 500; i++ {
+			if err := l.Record(i, testKey(byte(i))); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	close(start)
+	if err := RemoveSweepLog(dir, "contested"); err != nil {
+		t.Fatalf("remove with a live writer: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("append racing the remove: %v", err)
+	}
+
+	// The unlinked handle kept the writer harmless; a reopen starts clean.
+	re, err := OpenSweepLog(dir, "contested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := re.Len()
+	re.Close()
+	RemoveSweepLog(dir, "contested")
+	if rows != 0 {
+		t.Fatalf("journal reopened after remove replays %d rows, want 0", rows)
+	}
+}

@@ -288,7 +288,10 @@ func (ps *peerState) barred() bool {
 }
 
 // syncRing reconciles the peer's ring membership with its state: on the
-// ring iff neither draining nor down.
+// ring iff neither draining nor down. The same liveness feeds the
+// replicated result tier when this node has one and knows the peer as a
+// replica — the probe loop's verdict beats waiting for the replica
+// breaker to trip on traffic.
 func (c *coordinator) syncRing(ps *peerState) {
 	ps.mu.Lock()
 	want := !ps.draining && !ps.down
@@ -297,6 +300,9 @@ func (c *coordinator) syncRing(ps *peerState) {
 		c.ring.Add(ps.name)
 	} else {
 		c.ring.Remove(ps.name)
+	}
+	if repl := c.s.repl; repl != nil && repl.HasMember(ps.name) {
+		repl.SetMemberActive(ps.name, want)
 	}
 }
 

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/farm/farmtest"
+)
+
+// replNode is one complete bifrost-serve worker with a replicated result
+// tier: disk store, replica members over the peer wire protocol, and a farm
+// serving /batch for a coordinator.
+type replNode struct {
+	ts     *httptest.Server
+	fm     *farm.Farm
+	repl   *farm.ReplicatedStore
+	name   string
+	killed bool
+}
+
+// kill hard-closes the node's HTTP server: in-flight connections are torn
+// down and new ones refused — the closest an in-process test gets to
+// kill -9. The node's farm is left un-drained, like a dead process.
+func (n *replNode) kill() {
+	if n.killed {
+		return
+	}
+	n.killed = true
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+}
+
+// newReplCluster stands up n workers whose replicated stores are cross-wired
+// over real HTTP peer stores, each remote member behind its own breaker.
+// Listeners are pre-bound so every node knows its peers' ring names (host:port,
+// exactly how bifrost-serve derives them) before any store is built.
+func newReplCluster(t *testing.T, n, replicas int) []*replNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	names := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		names[i] = l.Addr().String()
+	}
+	nodes := make([]*replNode, n)
+	for i := range nodes {
+		var members []farm.ReplicaMember
+		for j := range nodes {
+			if j == i {
+				continue
+			}
+			members = append(members, farm.ReplicaMember{
+				Name:  names[j],
+				Store: farm.NewRetryStore(farm.NewPeerStore("http://"+names[j]), farmtest.TestRetryPolicy()),
+			})
+		}
+		ds, err := farm.NewDiskStore(filepath.Join(t.TempDir(), "cache"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repl := farm.NewReplicatedStore(ds, names[i], replicas, members,
+			farm.WithReplicaWatchInterval(20*time.Millisecond), farm.WithRebalanceRate(1<<20))
+		fm := farm.New(2, farm.WithDiskStore(repl))
+		ts := httptest.NewUnstartedServer(NewServer(fm, WithReplicatedStore(repl)))
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		nodes[i] = &replNode{ts: ts, fm: fm, repl: repl, name: names[i]}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.kill()
+			nd.fm.Close()
+		}
+	})
+	return nodes
+}
+
+// TestChaosThreeNodeKillServedFromReplicas is the durable tier's
+// acceptance: a three-node replicated cluster warms a sweep, loses one node
+// kill -9-style mid-sweep, and the re-run still returns zero error rows and
+// byte-identical output — every row served from a surviving replica, not
+// recomputed.
+func TestChaosThreeNodeKillServedFromReplicas(t *testing.T) {
+	reqs := sweepRequests()
+	single, _ := newTestServer(t)
+	want := runSweepNDJSON(t, single.URL, reqs)
+
+	nodes := newReplCluster(t, 3, 2)
+	coordFarm := farm.New(2)
+	peers := make([]Peer, len(nodes))
+	for i, nd := range nodes {
+		peers[i] = Peer{Name: nd.name, URL: nd.ts.URL}
+	}
+	coord := httptest.NewServer(NewServer(coordFarm,
+		WithPeers(peers), WithPeerStatsTTL(10*time.Millisecond)))
+	t.Cleanup(func() {
+		coord.Close()
+		coordFarm.Close()
+	})
+
+	// Warm pass: every row computed once somewhere, replicated to R=2 owners.
+	warm := runSweepNDJSON(t, coord.URL, reqs)
+	assertSweepRows(t, "three-node warm sweep", want, warm)
+	victim := nodes[2]
+	served := map[string]int{}
+	for _, row := range warm {
+		served[row.Peer]++
+	}
+	if len(served) != 3 {
+		t.Fatalf("warm sweep used peers %v, want all three", served)
+	}
+	executed := func() int64 {
+		var total int64
+		for _, nd := range nodes {
+			if !nd.killed {
+				total += nd.fm.Stats().Completed
+			}
+		}
+		return total
+	}
+	survivorsBefore := nodes[0].fm.Stats().Completed + nodes[1].fm.Stats().Completed
+
+	// Chaos pass: stream the same sweep again and kill a node after the
+	// second row is on the wire.
+	resp, err := http.Post(coord.URL+"/batch", "application/x-ndjson", encodeNDJSON(t, reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chaos sweep: HTTP %d", resp.StatusCode)
+	}
+	var got []JobResponse
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			var jr JobResponse
+			if uerr := json.Unmarshal(line, &jr); uerr != nil {
+				t.Fatalf("row %d: %v", len(got), uerr)
+			}
+			got = append(got, jr)
+			if len(got) == 2 {
+				victim.kill()
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	assertSweepRows(t, "post-kill sweep", want, got)
+
+	// Zero recomputation: the survivors answered the dead node's shard from
+	// their replicas — no simulator ran.
+	if delta := executed() - survivorsBefore; delta != 0 {
+		t.Fatalf("sweep after node loss recomputed %d rows, want 0", delta)
+	}
+	// Every row comes from a cache tier; rows the dead node answered before
+	// the kill keep its label, but nothing fails over to it afterwards.
+	for i, row := range got {
+		if !row.Cached {
+			t.Errorf("post-kill row %d not served from a cache tier", i)
+		}
+	}
+
+	// With R=2 over two survivors plus self, replication is intact: the
+	// survivors must keep advertising ready.
+	for _, nd := range nodes[:2] {
+		rz, err := http.Get(nd.ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rz.Body.Close()
+		if rz.StatusCode != http.StatusOK {
+			t.Errorf("survivor %s not ready after peer loss: HTTP %d", nd.name, rz.StatusCode)
+		}
+	}
+}
+
+// TestChaosSweepResumeJournalWithoutCache pins the resume edge case where
+// the journal survived a crash but the cache did not (or eviction outran
+// the sweep): a journaled key absent from every cache tier must be
+// recomputed through normal dispatch — never an error row, never a stall.
+func TestChaosSweepResumeJournalWithoutCache(t *testing.T) {
+	reqs := sweepRequests()
+	single, _ := newTestServer(t)
+	want := runSweepNDJSON(t, single.URL, reqs)
+
+	root := t.TempDir()
+	cacheDir, sweepDir := filepath.Join(root, "cache"), filepath.Join(root, "sweeps")
+	boot := func() (*httptest.Server, *Server, *farm.Farm) {
+		ds, err := farm.NewDiskStore(cacheDir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm := farm.New(2, farm.WithDiskStore(ds))
+		srv := NewServer(fm, WithSweepDir(sweepDir))
+		return httptest.NewServer(srv), srv, fm
+	}
+	ts, _, fm := boot()
+	first := postSweepNDJSON(t, ts.URL, "sweep_id=gap", reqs)
+	assertSweepRows(t, "initial journaled sweep", want, first)
+	ts.Close()
+	fm.Close()
+
+	// The journal survived; the cache did not.
+	if err := os.RemoveAll(cacheDir); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, srv2, fm2 := boot()
+	t.Cleanup(func() { ts2.Close(); fm2.Close() })
+	got := postSweepNDJSON(t, ts2.URL, "sweep_id=gap&resume=true", reqs)
+	assertSweepRows(t, "resume without cache", want, got)
+	if n := fm2.Stats().Completed; n != int64(len(reqs)) {
+		t.Fatalf("resume without cache executed %d simulations, want %d (full recompute)", n, len(reqs))
+	}
+	if n := srv2.sweeps.replayed.Load(); n != 0 {
+		t.Fatalf("resume without cache claimed %d journal replays, want 0", n)
+	}
+}

@@ -295,7 +295,7 @@ func TestSweepRequestValidation(t *testing.T) {
 		query string
 		want  int
 	}{
-		{"resume=true", http.StatusBadRequest},           // resume without an id
+		{"resume=true", http.StatusBadRequest},              // resume without an id
 		{"sweep_id=x&resume=banana", http.StatusBadRequest}, // non-boolean resume
 	} {
 		resp, err := http.Post(ts.URL+"/batch?"+tc.query, "application/json", bytes.NewReader([]byte(`{"jobs":[]}`)))

@@ -335,13 +335,16 @@ type Server struct {
 	slowJob  time.Duration
 	ring     *telemetry.TraceRing
 
-	peerList     []Peer
+	peerList   []Peer
 	peerClient *http.Client
 	coord      *coordinator
 	peerCfg    peerConfig
 
 	sweepDir string
 	sweeps   *sweepRegistry
+
+	repl  *farm.ReplicatedStore
+	scrub *farm.Scrubber
 
 	draining  atomic.Bool
 	drainCh   chan struct{}
@@ -389,6 +392,20 @@ func WithTraceRing(r *telemetry.TraceRing) ServerOption { return func(s *Server)
 // in-process only: sweeps still survive client disconnects and stay
 // resumable for the life of the server, but not across a restart.
 func WithSweepDir(dir string) ServerOption { return func(s *Server) { s.sweepDir = dir } }
+
+// WithReplicatedStore hands the server the farm's replicated result tier so
+// it can surface replication health: the replica/rebalance metric families
+// on /metrics, the replication_degraded readiness reason, and the
+// coordinator probe loop's liveness hints into the replica ring.
+func WithReplicatedStore(rs *farm.ReplicatedStore) ServerOption {
+	return func(s *Server) { s.repl = rs }
+}
+
+// WithScrubber hands the server the disk scrubber so its counters ride
+// /metrics. Lifecycle stays with the caller (main stops it on drain).
+func WithScrubber(sc *farm.Scrubber) ServerOption {
+	return func(s *Server) { s.scrub = sc }
+}
 
 // NewServer returns an http.Handler serving the bifrost-serve API on the
 // given farm.
@@ -483,8 +500,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // readiness distinguishes "alive" from "should receive new work": a
-// draining node, a node whose disk tier is quarantined, or one at its
-// queue bound is alive but not ready.
+// draining node, a node whose disk tier is quarantined, one at its queue
+// bound, or one that cannot reach R replica owners is alive but not ready.
 func (s *Server) readiness() (bool, []string) {
 	var reasons []string
 	if s.Draining() {
@@ -496,6 +513,12 @@ func (s *Server) readiness() (bool, []string) {
 	}
 	if lim := s.farm.Limits(); lim.MaxQueue > 0 && st.Queued >= int64(lim.MaxQueue) {
 		reasons = append(reasons, "queue_saturated")
+	}
+	if s.repl != nil && s.repl.ReplicationDegraded() {
+		// Fewer than R owners reachable: new results can't reach their full
+		// replica count, so route fresh work to nodes whose durability is
+		// intact.
+		reasons = append(reasons, "replication_degraded")
 	}
 	return len(reasons) == 0, reasons
 }
@@ -976,6 +999,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // families at scrape time. These values are owned by the farm's Stats
 // accounting; deriving them per scrape keeps /metrics and /stats exactly
 // consistent without double-counting state in the registry.
+// bit01 renders a boolean as a 0/1 gauge value.
+func bit01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func (s *Server) writeFarmMetrics(w io.Writer) {
 	st := s.farm.Stats()
 	one := func(v float64) []telemetry.Sample { return []telemetry.Sample{{Value: v}} }
@@ -1044,6 +1075,43 @@ func (s *Server) writeFarmMetrics(w io.Writer) {
 			"gauge", one(degraded)...)
 	}
 
+	if s.repl != nil {
+		rp := s.repl.ReplicaStats()
+		telemetry.WriteSamples(w, "bifrost_replica_members",
+			"Remote replica targets configured.",
+			"gauge", one(float64(rp.Members))...)
+		telemetry.WriteSamples(w, "bifrost_replica_healthy",
+			"Remote replica targets currently accepting traffic.",
+			"gauge", one(float64(rp.Healthy))...)
+		telemetry.WriteSamples(w, "bifrost_replica_writes_total",
+			"Successful remote replica writes (Put fan-out).",
+			"counter", one(float64(rp.Writes))...)
+		telemetry.WriteSamples(w, "bifrost_replica_failures_total",
+			"Failed remote replica writes.",
+			"counter", one(float64(rp.Failures))...)
+		telemetry.WriteSamples(w, "bifrost_replica_repairs_total",
+			"Replica writes performed by read-repair (a hit healed into tiers that missed).",
+			"counter", one(float64(rp.Repairs))...)
+		telemetry.WriteSamples(w, "bifrost_replica_rebalanced_total",
+			"Keys streamed to new owners by anti-entropy after ring churn.",
+			"counter", one(float64(rp.Rebalanced))...)
+		telemetry.WriteSamples(w, "bifrost_replication_degraded",
+			"1 while fewer than R replica owners are reachable.",
+			"gauge", one(bit01(rp.Degraded))...)
+	}
+	if s.scrub != nil {
+		sc := s.scrub.Stats()
+		telemetry.WriteSamples(w, "bifrost_scrub_scanned_total",
+			"Disk entries whose CRC frames the scrubber re-verified.",
+			"counter", one(float64(sc.Scanned))...)
+		telemetry.WriteSamples(w, "bifrost_scrub_corrupt_total",
+			"Entries the scrubber found corrupt and deleted.",
+			"counter", one(float64(sc.Corrupt))...)
+		telemetry.WriteSamples(w, "bifrost_scrub_repaired_total",
+			"Corrupt entries refilled from a replica instead of recomputed.",
+			"counter", one(float64(sc.Repaired))...)
+	}
+
 	pk := st.Pack
 	telemetry.WriteSamples(w, "bifrost_pack_cache_entries", "Packed operands held.", "gauge", one(float64(pk.Entries))...)
 	telemetry.WriteSamples(w, "bifrost_pack_cache_bytes", "Resident packed-operand bytes.", "gauge", one(float64(pk.Bytes))...)
@@ -1054,19 +1122,13 @@ func (s *Server) writeFarmMetrics(w io.Writer) {
 
 	telemetry.WriteSamples(w, "bifrost_traces_recorded_total", "Lifecycle traces captured into the debug ring.", "counter", one(float64(s.ring.Total()))...)
 
-	bit := func(b bool) float64 {
-		if b {
-			return 1
-		}
-		return 0
-	}
 	ready, _ := s.readiness()
 	telemetry.WriteSamples(w, "bifrost_draining",
 		"1 while the node is draining (new work refused, queued work finishing).",
-		"gauge", one(bit(s.Draining()))...)
+		"gauge", one(bit01(s.Draining()))...)
 	telemetry.WriteSamples(w, "bifrost_ready",
 		"1 while the node is ready for new work (not draining, disk tier healthy, queue below bound).",
-		"gauge", one(bit(ready))...)
+		"gauge", one(bit01(ready))...)
 	telemetry.WriteSamples(w, "bifrost_active_sweeps",
 		"Resumable sweeps currently executing.",
 		"gauge", one(float64(s.sweeps.activeSweeps()))...)
